@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Cpu Devpoll Engine Experiment Fmt Hashtbl Host List Metrics Pollmask Printf Sio_httpd Sio_kernel Sio_loadgen Sio_sim Socket Time Wait_queue Workload

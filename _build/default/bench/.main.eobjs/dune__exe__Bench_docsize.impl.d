@@ -1,0 +1,1 @@
+bench/bench_docsize.ml: Experiment Fmt List Metrics Printf Sio_loadgen Sio_net Sio_sim Workload

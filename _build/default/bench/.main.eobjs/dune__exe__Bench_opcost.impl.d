@@ -1,0 +1,1 @@
+bench/bench_opcost.ml: Cpu Devpoll Engine Epoll Fd_set Fmt Hashtbl Host List Poll Pollmask Rt_signal Select Sio_kernel Sio_sim Socket Stdlib Time

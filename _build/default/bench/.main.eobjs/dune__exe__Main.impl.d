@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_ablation Bench_docsize Bench_micro Bench_opcost Fmt List Scalanio Sio_loadgen

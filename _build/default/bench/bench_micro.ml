@@ -1,0 +1,129 @@
+(* Wall-clock microbenchmarks (bechamel) of the library's hot data
+   structures and scan paths: what it costs to *run the simulator*,
+   as opposed to the simulated costs measured elsewhere. *)
+
+open Bechamel
+open Toolkit
+open Sio_sim
+open Sio_kernel
+
+let heap_push_pop =
+  Test.make ~name:"heap push+pop (1k live)"
+    (let h = Heap.create ~leq:(fun (a : int) b -> a <= b) () in
+     for i = 0 to 999 do
+       Heap.push h i
+     done;
+     Staged.stage (fun () ->
+         Heap.push h 500;
+         ignore (Heap.pop h)))
+
+let event_queue_cycle =
+  Test.make ~name:"event schedule+fire"
+    (let e = Engine.create () in
+     Staged.stage (fun () ->
+         ignore (Engine.after e 10 (fun () -> ()));
+         ignore (Engine.step e)))
+
+let interest_set_replace =
+  Test.make ~name:"interest_table set (replace, 1k)"
+    (let t = Interest_table.create () in
+     for fd = 0 to 999 do
+       ignore (Interest_table.set t ~fd ~events:Pollmask.pollin)
+     done;
+     Staged.stage (fun () -> ignore (Interest_table.set t ~fd:512 ~events:Pollmask.pollin)))
+
+let interest_find =
+  Test.make ~name:"interest_table find (1k)"
+    (let t = Interest_table.create () in
+     for fd = 0 to 999 do
+       ignore (Interest_table.set t ~fd ~events:Pollmask.pollin)
+     done;
+     Staged.stage (fun () -> ignore (Interest_table.find t 777)))
+
+let zero_env n =
+  let engine = Engine.create () in
+  let host = Host.create ~engine ~costs:Cost_model.zero () in
+  let sockets = Hashtbl.create n in
+  for fd = 0 to n - 1 do
+    Hashtbl.replace sockets fd (Socket.create_established ~host)
+  done;
+  (engine, host, sockets)
+
+let poll_scan n =
+  Test.make ~name:(Printf.sprintf "poll() scan, %d idle fds" n)
+    (let engine, host, sockets = zero_env n in
+     let interests = List.init n (fun fd -> (fd, Pollmask.pollin)) in
+     Staged.stage (fun () ->
+         Poll.wait ~host ~lookup:(Hashtbl.find_opt sockets) ~interests
+           ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+         Engine.run engine))
+
+let devpoll_scan n =
+  Test.make ~name:(Printf.sprintf "DP_POLL scan, %d idle interests" n)
+    (let engine, host, sockets = zero_env n in
+     let dev = Devpoll.create ~host ~lookup:(Hashtbl.find_opt sockets) in
+     Devpoll.write dev (List.init n (fun fd -> (fd, Pollmask.pollin)));
+     Staged.stage (fun () ->
+         Devpoll.dp_poll dev ~max_results:64 ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+         Engine.run engine))
+
+let rt_enqueue_dequeue =
+  Test.make ~name:"RT signal enqueue+sigwaitinfo"
+    (let engine, host, _ = zero_env 1 in
+     let q = Rt_signal.create_queue ~host () in
+     let sock = Socket.create_established ~host in
+     Rt_signal.set_signal q ~socket:sock ~fd:3 ~signo:Rt_signal.sigrtmin;
+     Staged.stage (fun () ->
+         ignore (Socket.deliver sock ~bytes_len:1 ~payload:"");
+         ignore (Socket.read_all sock);
+         Rt_signal.sigwaitinfo q ~k:(fun _ -> ());
+         Engine.run engine))
+
+let histogram_add =
+  Test.make ~name:"histogram add"
+    (let h = Histogram.create () in
+     Staged.stage (fun () -> Histogram.add h 1_234_567))
+
+let tests =
+  Test.make_grouped ~name:"micro"
+    [
+      heap_push_pop;
+      event_queue_cycle;
+      interest_set_replace;
+      interest_find;
+      poll_scan 100;
+      poll_scan 1000;
+      devpoll_scan 100;
+      devpoll_scan 1000;
+      rt_enqueue_dequeue;
+      histogram_add;
+    ]
+
+let run ppf =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Fmt.pf ppf "== Microbenchmarks (host wall time per operation) ==@.";
+  Hashtbl.iter
+    (fun measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) tbl []
+      in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      List.iter
+        (fun (name, ols_result) ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Fmt.pf ppf "%-44s %10.1f ns/%s@." name est measure
+          | Some [] | None -> Fmt.pf ppf "%-44s %10s@." name "n/a")
+        rows)
+    merged;
+  Fmt.pf ppf "@."

@@ -1,0 +1,1 @@
+bin/sio_figures.ml: Arg Cmd Cmdliner Filename Fmt List Printf Scalanio Sio_loadgen String Term

@@ -1,0 +1,1 @@
+bin/sio_run.ml: Arg Cmd Cmdliner Experiment Fmt Metrics Printf Sio_httpd Sio_kernel Sio_loadgen Term Workload

@@ -1,0 +1,1 @@
+bin/sio_run.mli:

@@ -1,0 +1,119 @@
+(* Regenerate the paper's figures (and the extension experiments) from
+   the simulation. `sio_figures list` shows what is available;
+   `sio_figures all` reproduces the whole evaluation section. *)
+
+open Cmdliner
+
+let rates_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ from; until; step ] -> (
+        match (int_of_string_opt from, int_of_string_opt until, int_of_string_opt step) with
+        | Some f, Some u, Some st when st > 0 && u >= f ->
+            Ok (Sio_loadgen.Sweep.rates ~from:f ~until:u ~step:st)
+        | _, _, _ -> Error (`Msg "expected FROM:UNTIL:STEP with positive step"))
+    | _ -> Error (`Msg "expected FROM:UNTIL:STEP")
+  in
+  let print ppf rates = Fmt.pf ppf "%a" Fmt.(list ~sep:comma int) rates in
+  Arg.conv (parse, print)
+
+let list_figures () =
+  List.iter
+    (fun f -> Fmt.pr "%-16s %s@." f.Scalanio.Figures.id f.Scalanio.Figures.title)
+    Scalanio.Figures.all
+
+let sanitize label =
+  String.map (fun c -> if c = ' ' || c = '/' || c = '=' then '-' else c) label
+
+let write_csv dir fig series =
+  List.iter
+    (fun s ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%s.csv" fig.Scalanio.Figures.id
+             (sanitize s.Sio_loadgen.Report.label))
+      in
+      let oc = open_out path in
+      output_string oc (Sio_loadgen.Report.csv_of_series s);
+      close_out oc;
+      Fmt.epr "wrote %s@." path)
+    series
+
+let run_figures names scale seed rates quiet csv_dir =
+  let targets =
+    match names with
+    | [] | [ "all" ] -> Ok Scalanio.Figures.all
+    | names ->
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match Scalanio.Figures.find n with
+              | Some f -> resolve (f :: acc) rest
+              | None -> Error n)
+        in
+        resolve [] names
+  in
+  match targets with
+  | Error n ->
+      Fmt.epr "unknown figure %S; try `sio_figures list`@." n;
+      1
+  | Ok figures ->
+      List.iter
+        (fun fig ->
+          let on_point ~label p =
+            if not quiet then
+              Fmt.epr "  [%s] %s rate=%d avg=%.1f err=%.1f%%@." fig.Scalanio.Figures.id
+                label p.Sio_loadgen.Sweep.rate
+                p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+                  .Sio_loadgen.Metrics.reply_rate_avg
+                p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+                  .Sio_loadgen.Metrics.error_percent
+          in
+          let series = Scalanio.Figures.run ~scale ?rates ~seed ~on_point fig in
+          Scalanio.Figures.render Fmt.stdout fig series;
+          (match csv_dir with Some dir -> write_csv dir fig series | None -> ());
+          Fmt.pr "@.")
+        figures;
+      0
+
+let names_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FIGURE"
+        ~doc:"Figure ids (fig4..fig14, hybrid, ...), 'all', or 'list'.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "scale" ] ~docv:"F"
+        ~doc:"Fraction of the paper's 35000 connections per point (1.0 = full scale).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let rates_arg =
+  Arg.(
+    value & opt (some rates_conv) None
+    & info [ "rates" ] ~docv:"FROM:UNTIL:STEP" ~doc:"Override the swept request rates.")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-point progress.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each series as a CSV file into $(docv).")
+
+let main names scale seed rates quiet csv_dir =
+  match names with
+  | [ "list" ] ->
+      list_figures ();
+      0
+  | _ -> run_figures names scale seed rates quiet csv_dir
+
+let cmd =
+  let doc = "regenerate the figures of Provos & Lever (2000)" in
+  Cmd.v
+    (Cmd.info "sio_figures" ~doc)
+    Term.(const main $ names_arg $ scale_arg $ seed_arg $ rates_arg $ quiet_arg $ csv_arg)
+
+let () = exit (Cmd.eval' cmd)

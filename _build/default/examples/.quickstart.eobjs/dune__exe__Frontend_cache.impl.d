@@ -1,0 +1,1 @@
+examples/frontend_cache.ml: Array Backend Engine Event_loop Float Fmt Fs Hashtbl Histogram Host Http Kernel Network Pollmask Printf Process Rng Scalanio Sio_httpd Stdlib String Tcp Thttpd Time

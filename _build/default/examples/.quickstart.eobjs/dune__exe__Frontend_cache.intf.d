@@ -1,0 +1,1 @@
+examples/frontend_cache.mli:

@@ -1,0 +1,1 @@
+examples/hybrid_demo.ml: Engine Fmt Host Httperf Hybrid List Network Process Scalanio Sio_httpd Time Workload

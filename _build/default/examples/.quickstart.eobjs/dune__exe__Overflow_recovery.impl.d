@@ -1,0 +1,1 @@
+examples/overflow_recovery.ml: Engine Fd_table Fmt Host Kernel List Poll Pollmask Process Rt_signal Scalanio Socket Time

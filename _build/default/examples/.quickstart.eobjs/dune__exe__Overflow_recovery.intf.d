@@ -1,0 +1,1 @@
+examples/overflow_recovery.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer Engine Event_loop Fmt Host Kernel Network Pollmask Printf Process Scalanio Tcp Time

@@ -1,0 +1,1 @@
+examples/static_server.ml: Array Backend Cpu Engine Experiment Fmt Host Httperf Hybrid Inactive Metrics Network Phhttpd Process Rng Scalanio Sio_httpd Sys Thttpd Time Workload

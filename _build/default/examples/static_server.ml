@@ -1,0 +1,116 @@
+(* The paper's scenario as a runnable example: a 6 KB static-content
+   server facing a mix of active requesters and idle, high-latency
+   connections — printing live per-second statistics so the effect of
+   the chosen event backend is visible.
+
+     dune exec examples/static_server.exe -- devpoll 251
+     dune exec examples/static_server.exe -- poll 501
+     dune exec examples/static_server.exe -- phhttpd 501
+*)
+
+open Scalanio
+
+let usage () =
+  Fmt.epr "usage: static_server [select|poll|devpoll|epoll|phhttpd|hybrid] [inactive-count]@.";
+  exit 2
+
+let () =
+  let backend = if Array.length Sys.argv > 1 then Sys.argv.(1) else "devpoll" in
+  let inactive =
+    if Array.length Sys.argv > 2 then
+      match int_of_string_opt Sys.argv.(2) with Some n when n >= 0 -> n | _ -> usage ()
+    else 251
+  in
+  let kind =
+    match backend with
+    | "select" -> Experiment.Thttpd_select
+    | "poll" -> Experiment.Thttpd_poll
+    | "devpoll" -> Experiment.Thttpd_devpoll { use_mmap = true; max_events = 64 }
+    | "epoll" -> Experiment.Thttpd_epoll { max_events = 64 }
+    | "phhttpd" -> Experiment.Phhttpd
+    | "hybrid" -> Experiment.Hybrid
+    | _ -> usage ()
+  in
+  let rate = 800 in
+  let workload =
+    {
+      Workload.default with
+      Workload.request_rate = rate;
+      total_connections = 8 * rate;
+      inactive_connections = inactive;
+    }
+  in
+  Fmt.pr "static_server: %a, %d idle connections, %d req/s for %d connections@."
+    Experiment.pp_server_kind kind inactive rate
+    workload.Workload.total_connections;
+
+  (* Wire the experiment up by hand so we can peek every second. *)
+  let cfg = Experiment.default_config ~kind ~workload in
+  let engine = Engine.create ~seed:11 () in
+  let host = Host.create ~engine () in
+  let net = Network.create ~engine () in
+  let proc = Process.create ~host ~fd_limit:4096 ~name:"www" () in
+  let thttpd_on b =
+    match Thttpd.start ~proc ~backend:b ~config:cfg.Experiment.thttpd () with
+    | Ok t -> (Thttpd.listener t, Thttpd.stats t)
+    | Error `Emfile -> failwith "server start failed"
+  in
+  let server_listener, server_stats =
+    match kind with
+    | Experiment.Thttpd_select -> thttpd_on (Backend.select proc)
+    | Experiment.Thttpd_poll -> thttpd_on (Backend.poll proc)
+    | Experiment.Thttpd_epoll { max_events } -> thttpd_on (Backend.epoll ~max_events proc)
+    | Experiment.Thttpd_devpoll { use_mmap; max_events } ->
+        let b =
+          match Backend.devpoll ~use_mmap ~max_events proc with
+          | Ok b -> b
+          | Error `Emfile -> failwith "/dev/poll open failed"
+        in
+        thttpd_on b
+    | Experiment.Phhttpd ->
+        let t =
+          match Phhttpd.start ~proc ~config:cfg.Experiment.phhttpd () with
+          | Ok t -> t
+          | Error `Emfile -> failwith "server start failed"
+        in
+        (Phhttpd.listener t, Phhttpd.stats t)
+    | Experiment.Hybrid ->
+        let t =
+          match Hybrid.start ~proc ~config:cfg.Experiment.hybrid () with
+          | Ok t -> t
+          | Error `Emfile -> failwith "server start failed"
+        in
+        (Hybrid.listener t, Hybrid.stats t)
+  in
+  let rng = Rng.split (Engine.rng engine) in
+  let pool =
+    Inactive.start ~engine ~net ~listener:server_listener ~workload ~rng ()
+  in
+  Engine.run ~until:(Time.s 2) engine;
+  let client = Httperf.start ~engine ~net ~listener:server_listener ~workload () in
+
+  (* Live ticker: one line per simulated second. *)
+  let last_replies = ref 0 in
+  let rec tick t =
+    ignore
+      (Engine.at engine t (fun () ->
+           let total = Httperf.completed client in
+           Fmt.pr
+             "t=%5.1fs  replies/s=%4d  total=%6d  in-flight=%4d  errors=%4d  cpu=%5.1f%%  idle-conns=%3d@."
+             (Time.to_sec_f t) (total - !last_replies) total
+             (Httperf.in_flight client)
+             (Metrics.total_errors (Httperf.errors client))
+             (100. *. Host.(Cpu.utilization host.cpu ~now:t))
+             (Inactive.established pool);
+           last_replies := total;
+           if not (Httperf.is_done client) then tick (Time.add t (Time.s 1))))
+  in
+  tick (Time.add (Engine.now engine) (Time.s 1));
+  let gen_end = Time.add (Engine.now engine) (Workload.generation_duration workload) in
+  Engine.run ~until:(Time.add gen_end (Time.s 6)) engine;
+
+  let m = Httperf.metrics client ~t_end:gen_end in
+  Fmt.pr "@.summary:@.";
+  Fmt.pr "%a@." Metrics.pp_row_header ();
+  Fmt.pr "%a@." Metrics.pp_row m;
+  Fmt.pr "server: %a@." Sio_httpd.Server_stats.pp server_stats

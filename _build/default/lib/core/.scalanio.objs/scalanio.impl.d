@@ -1,0 +1,1 @@
+lib/core/scalanio.ml: Event_loop Figures Sio_httpd Sio_kernel Sio_loadgen Sio_net Sio_sim

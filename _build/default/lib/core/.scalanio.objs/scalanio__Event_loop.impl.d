@@ -1,0 +1,1 @@
+lib/core/event_loop.ml: Engine Event_queue Hashtbl Host Kernel List Pollmask Process Rt_signal Sio_httpd Sio_kernel Sio_sim Time

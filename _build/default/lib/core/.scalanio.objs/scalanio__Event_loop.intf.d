@@ -1,0 +1,1 @@
+lib/core/event_loop.mli: Event_queue Pollmask Process Sio_kernel Sio_sim Time

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Experiment Fmt List Report Sio_loadgen String Sweep Workload

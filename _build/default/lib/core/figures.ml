@@ -1,0 +1,194 @@
+open Sio_loadgen
+
+type chart = Reply_rate | Error_rate | Median_latency
+
+type series_spec = {
+  label : string;
+  kind : Experiment.server_kind;
+  inactive : int;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_expectation : string;
+  chart : chart;
+  series : series_spec list;
+  rates : int list;
+}
+
+let devpoll = Experiment.Thttpd_devpoll { use_mmap = true; max_events = 64 }
+
+let single_server ~id ~title ~expectation ~kind ~inactive ~label =
+  {
+    id;
+    title;
+    paper_expectation = expectation;
+    chart = Reply_rate;
+    series = [ { label; kind; inactive } ];
+    rates = Sweep.paper_rates;
+  }
+
+let all =
+  [
+    single_server ~id:"fig4" ~title:"Stock thttpd, normal poll(), 1 inactive connection"
+      ~expectation:
+        "Tracks the offered rate until processing latency exceeds the request \
+         rate at the top of the range, then breaks down."
+      ~kind:Experiment.Thttpd_poll ~inactive:1 ~label:"thttpd+poll i=1";
+    single_server ~id:"fig5" ~title:"thttpd with /dev/poll, 1 inactive connection"
+      ~expectation:"Performs well at all request rates; no breakdown point."
+      ~kind:devpoll ~inactive:1 ~label:"thttpd+devpoll i=1";
+    single_server ~id:"fig6" ~title:"Stock thttpd, normal poll(), 251 inactive connections"
+      ~expectation:
+        "Breakdown comes sooner than with load 1; minimum response rates hit \
+         zero in places."
+      ~kind:Experiment.Thttpd_poll ~inactive:251 ~label:"thttpd+poll i=251";
+    single_server ~id:"fig7" ~title:"thttpd with /dev/poll, 251 inactive connections"
+      ~expectation:"Almost as good as with no inactive connections."
+      ~kind:devpoll ~inactive:251 ~label:"thttpd+devpoll i=251";
+    single_server ~id:"fig8" ~title:"Stock thttpd, normal poll(), 501 inactive connections"
+      ~expectation:
+        "Latency from scanning inactive connections dominates at every \
+         request rate: poor throughput, high error rates."
+      ~kind:Experiment.Thttpd_poll ~inactive:501 ~label:"thttpd+poll i=501";
+    single_server ~id:"fig9" ~title:"thttpd with /dev/poll, 501 inactive connections"
+      ~expectation:
+        "Handles the idle load with ease; performance only begins to break \
+         down at extreme request rates."
+      ~kind:devpoll ~inactive:501 ~label:"thttpd+devpoll i=501";
+    {
+      id = "fig10";
+      title = "Connection error rate, 251 and 501 inactive connections";
+      paper_expectation =
+        "Stock poll's error rate climbs toward ~60% of connections; \
+         /dev/poll shows no errors at 251 and only sporadic errors at 501.";
+      chart = Error_rate;
+      series =
+        [
+          { label = "poll i=251"; kind = Experiment.Thttpd_poll; inactive = 251 };
+          { label = "devpoll i=251"; kind = devpoll; inactive = 251 };
+          { label = "poll i=501"; kind = Experiment.Thttpd_poll; inactive = 501 };
+          { label = "devpoll i=501"; kind = devpoll; inactive = 501 };
+        ];
+      rates = Sweep.paper_rates;
+    };
+    single_server ~id:"fig11" ~title:"phhttpd (RT signals), 1 inactive connection"
+      ~expectation:
+        "Matches the best servers at low rates; falters at very high rates \
+         from the per-event system-call overhead."
+      ~kind:Experiment.Phhttpd ~inactive:1 ~label:"phhttpd i=1";
+    single_server ~id:"fig12" ~title:"phhttpd (RT signals), 251 inactive connections"
+      ~expectation:"Reaches its performance knee sooner than with load 1."
+      ~kind:Experiment.Phhttpd ~inactive:251 ~label:"phhttpd i=251";
+    single_server ~id:"fig13" ~title:"phhttpd (RT signals), 501 inactive connections"
+      ~expectation:
+        "Inactive connections hurt throughput at all request rates; scales \
+         worse than thttpd with /dev/poll."
+      ~kind:Experiment.Phhttpd ~inactive:501 ~label:"phhttpd i=501";
+    {
+      id = "fig14";
+      title = "Median connection time, 251 inactive connections";
+      paper_expectation =
+        "phhttpd responds 1-3 ms faster than devpoll thttpd up to ~900 \
+         req/s, then its median leaps by more than an order of magnitude \
+         while thttpd+devpoll stays steady; normal poll sits well above \
+         both.";
+      chart = Median_latency;
+      series =
+        [
+          { label = "devpoll"; kind = devpoll; inactive = 251 };
+          { label = "normal poll"; kind = Experiment.Thttpd_poll; inactive = 251 };
+          { label = "phhttpd"; kind = Experiment.Phhttpd; inactive = 251 };
+        ];
+      rates = Sweep.paper_rates;
+    };
+    (* Extensions: the paper's Section 6 future work, measurable on the
+       same axes. *)
+    {
+      id = "hybrid";
+      title = "Extension: hybrid RT-signal//dev/poll server, 501 inactive connections";
+      paper_expectation =
+        "The paper predicts a well-architected hybrid keeps RT-signal \
+         latency at low load without melting down at high load (Section 6).";
+      chart = Reply_rate;
+      series =
+        [
+          { label = "hybrid i=501"; kind = Experiment.Hybrid; inactive = 501 };
+          { label = "phhttpd i=501"; kind = Experiment.Phhttpd; inactive = 501 };
+          { label = "devpoll i=501"; kind = devpoll; inactive = 501 };
+        ];
+      rates = Sweep.paper_rates;
+    };
+    {
+      id = "hybrid-latency";
+      title = "Extension: hybrid latency vs the paper's servers, 251 inactive";
+      paper_expectation =
+        "A hybrid should match phhttpd's low-load latency and devpoll's \
+         stability under overload.";
+      chart = Median_latency;
+      series =
+        [
+          { label = "hybrid"; kind = Experiment.Hybrid; inactive = 251 };
+          { label = "devpoll"; kind = devpoll; inactive = 251 };
+          { label = "phhttpd"; kind = Experiment.Phhttpd; inactive = 251 };
+        ];
+      rates = Sweep.paper_rates;
+    };
+  ]
+
+let lineage =
+  {
+    id = "lineage";
+    title = "Beyond the paper: select -> poll -> /dev/poll -> epoll, 501 inactive";
+    paper_expectation =
+      "Not in the paper: the historical arc its work sits on. select and \
+       poll pay O(descriptors) per wait and collapse under idle load; \
+       /dev/poll pays O(interests) hint checks and erodes only at extreme \
+       rates; the epoll-style ready list pays O(ready) and stays flat.";
+    chart = Reply_rate;
+    series =
+      [
+        { label = "select i=501"; kind = Experiment.Thttpd_select; inactive = 501 };
+        { label = "poll i=501"; kind = Experiment.Thttpd_poll; inactive = 501 };
+        { label = "devpoll i=501"; kind = devpoll; inactive = 501 };
+        {
+          label = "epoll i=501";
+          kind = Experiment.Thttpd_epoll { max_events = 64 };
+          inactive = 501;
+        };
+      ];
+    rates = Sweep.paper_rates;
+  }
+
+let all = all @ [ lineage ]
+
+let find id = List.find_opt (fun f -> String.equal f.id id) all
+let ids () = List.map (fun f -> f.id) all
+
+let run ?(scale = 0.2) ?rates ?(seed = 42) ?(on_point = fun ~label:_ _ -> ()) fig =
+  let rates = match rates with Some r -> r | None -> fig.rates in
+  List.map
+    (fun spec ->
+      let workload =
+        Workload.scaled
+          { Workload.default with Workload.inactive_connections = spec.inactive }
+          scale
+      in
+      let base =
+        { (Experiment.default_config ~kind:spec.kind ~workload) with Experiment.seed }
+      in
+      let points =
+        Sweep.run ~on_point:(fun p -> on_point ~label:spec.label p) ~base ~rates ()
+      in
+      { Report.label = spec.label; points })
+    fig.series
+
+let render ppf fig series =
+  Fmt.pf ppf "== %s: %s ==@." fig.id fig.title;
+  Fmt.pf ppf "paper: %s@.@." fig.paper_expectation;
+  List.iter (fun s -> Fmt.pf ppf "%a@." Report.pp_table s) series;
+  match fig.chart with
+  | Reply_rate -> Report.pp_reply_rate_chart ppf series
+  | Error_rate -> Report.pp_error_comparison ppf series
+  | Median_latency -> Report.pp_latency_comparison ppf series

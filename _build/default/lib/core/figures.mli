@@ -1,0 +1,50 @@
+(** The paper's evaluation, figure by figure.
+
+    Each value describes one figure of Provos & Lever (2000): which
+    server(s), how many inactive connections, which quantity is
+    plotted, and what the paper's graph shows — so the harness can
+    print measured-vs-expected side by side. Figures 4-14 are the
+    complete evaluation section; the extension entries exercise the
+    paper's future-work ideas on the same axes. *)
+
+open Sio_loadgen
+
+type chart = Reply_rate | Error_rate | Median_latency
+
+type series_spec = {
+  label : string;
+  kind : Experiment.server_kind;
+  inactive : int;
+}
+
+type t = {
+  id : string;  (** e.g. "fig4" *)
+  title : string;
+  paper_expectation : string;
+      (** what the corresponding graph in the paper shows *)
+  chart : chart;
+  series : series_spec list;
+  rates : int list;
+}
+
+val all : t list
+(** Figures 4-14 plus the extension experiments, in order. *)
+
+val find : string -> t option
+val ids : unit -> string list
+
+val run :
+  ?scale:float ->
+  ?rates:int list ->
+  ?seed:int ->
+  ?on_point:(label:string -> Sweep.point -> unit) ->
+  t ->
+  Report.series list
+(** Executes every series of the figure. [scale] multiplies the
+    paper's 35 000 connections per point (default 0.2, which keeps a
+    full figure under a minute; use 1.0 for the paper's exact
+    procedure). *)
+
+val render : Format.formatter -> t -> Report.series list -> unit
+(** Tables plus the chart appropriate to the figure, prefixed by the
+    paper's expectation. *)

@@ -1,0 +1,1 @@
+lib/httpd/backend.ml: Epoll Fd_set Hashtbl Kernel List Poll Pollmask Process Select Sio_kernel Sio_sim Time

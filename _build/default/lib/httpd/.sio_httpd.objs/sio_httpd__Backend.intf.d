@@ -1,0 +1,1 @@
+lib/httpd/backend.mli: Pollmask Process Sio_kernel Sio_sim Time

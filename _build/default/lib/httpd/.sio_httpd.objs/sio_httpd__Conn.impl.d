@@ -1,0 +1,1 @@
+lib/httpd/conn.ml: Buffer Fs Http Kernel Sio_kernel Sio_sim Time

@@ -1,0 +1,1 @@
+lib/httpd/conn.mli: Fs Process Sio_kernel Sio_sim Time

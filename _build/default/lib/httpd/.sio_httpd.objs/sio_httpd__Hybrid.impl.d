@@ -1,0 +1,1 @@
+lib/httpd/hybrid.ml: Backend Conn Hashtbl Host Kernel List Pollmask Process Rt_signal Server_stats Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,1 @@
+lib/httpd/phhttpd.ml: Backend Conn Fd_table Hashtbl Host Kernel List Pollmask Process Rt_signal Server_stats Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,1 @@
+lib/httpd/phhttpd.mli: Conn Process Server_stats Sio_kernel Sio_sim Socket Time

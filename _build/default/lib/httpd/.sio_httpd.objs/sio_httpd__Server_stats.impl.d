@@ -1,0 +1,1 @@
+lib/httpd/server_stats.ml: Fmt Sampler Sio_sim Time

@@ -1,0 +1,1 @@
+lib/httpd/server_stats.mli: Format Sampler Sio_sim Time

@@ -1,0 +1,1 @@
+lib/httpd/thttpd.ml: Backend Conn Hashtbl Host Kernel List Pollmask Process Server_stats Sio_kernel Sio_sim Socket Time

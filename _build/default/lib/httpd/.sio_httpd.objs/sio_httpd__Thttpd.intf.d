@@ -1,0 +1,1 @@
+lib/httpd/thttpd.mli: Backend Conn Process Server_stats Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,141 @@
+open Sio_sim
+open Sio_kernel
+
+type event = { fd : int; mask : Pollmask.t }
+
+type impl = {
+  name : string;
+  add : int -> Pollmask.t -> unit;
+  modify : int -> Pollmask.t -> unit;
+  remove : int -> unit;
+  wait : timeout:Time.t option -> k:(event list -> unit) -> unit;
+  interest_count : unit -> int;
+}
+
+type t = impl
+
+let name t = t.name
+let add t fd mask = t.add fd mask
+let modify t fd mask = t.modify fd mask
+let remove t fd = t.remove fd
+let wait t ~timeout ~k = t.wait ~timeout ~k
+let interest_count t = t.interest_count ()
+
+let to_events results =
+  List.map (fun r -> { fd = r.Poll.fd; mask = r.Poll.revents }) results
+
+let poll proc =
+  (* User-space interest set; insertion order preserved so the pollfd
+     array looks like thttpd's (listener first, then connections). *)
+  let interests : (int, Pollmask.t) Hashtbl.t = Hashtbl.create 64 in
+  let order : int list ref = ref [] in
+  let current () =
+    List.rev
+      (List.filter_map
+         (fun fd ->
+           match Hashtbl.find_opt interests fd with
+           | Some mask -> Some (fd, mask)
+           | None -> None)
+         !order)
+  in
+  {
+    name = "poll";
+    add =
+      (fun fd mask ->
+        if not (Hashtbl.mem interests fd) then order := fd :: !order;
+        Hashtbl.replace interests fd mask);
+    modify = (fun fd mask -> if Hashtbl.mem interests fd then Hashtbl.replace interests fd mask);
+    remove =
+      (fun fd ->
+        Hashtbl.remove interests fd;
+        order := List.filter (fun x -> x <> fd) !order);
+    wait =
+      (fun ~timeout ~k ->
+        Kernel.poll proc ~interests:(current ()) ~timeout ~k:(fun rs -> k (to_events rs)));
+    interest_count = (fun () -> Hashtbl.length interests);
+  }
+
+let devpoll ?(use_mmap = true) ?(max_events = 64) proc =
+  match Kernel.devpoll_open proc with
+  | Error (`Emfile | `Ebadf | `Eagain | `Einval) -> Error `Emfile
+  | Ok dpfd ->
+      if use_mmap then
+        ignore (Kernel.devpoll_alloc_map proc dpfd ~slots:max_events);
+      let count = ref 0 in
+      let write entries = ignore (Kernel.devpoll_write proc dpfd entries) in
+      Ok
+        {
+          name = (if use_mmap then "devpoll" else "devpoll-nommap");
+          add =
+            (fun fd mask ->
+              incr count;
+              write [ (fd, mask) ]);
+          modify = (fun fd mask -> write [ (fd, mask) ]);
+          remove =
+            (fun fd ->
+              decr count;
+              write [ (fd, Pollmask.pollremove) ]);
+          wait =
+            (fun ~timeout ~k ->
+              ignore
+                (Kernel.devpoll_wait proc dpfd ~max_results:max_events ~timeout
+                   ~k:(fun rs -> k (to_events rs))));
+          interest_count = (fun () -> !count);
+        }
+
+let select proc =
+  let read = Fd_set.create () and write = Fd_set.create () in
+  let host = Process.host proc in
+  let to_events result =
+    let events = ref [] in
+    Fd_set.iter result.Select.except (fun fd ->
+        events := { fd; mask = Pollmask.pollerr } :: !events);
+    Fd_set.iter result.Select.writable (fun fd ->
+        events := { fd; mask = Pollmask.pollout } :: !events);
+    Fd_set.iter result.Select.readable (fun fd ->
+        match !events with
+        | { fd = fd'; mask } :: rest when fd' = fd ->
+            events := { fd; mask = Pollmask.union mask Pollmask.pollin } :: rest
+        | _ -> events := { fd; mask = Pollmask.pollin } :: !events);
+    !events
+  in
+  let add fd mask =
+    if Pollmask.intersects mask Pollmask.readable then Fd_set.set read fd
+    else Fd_set.clear read fd;
+    if Pollmask.intersects mask Pollmask.pollout then Fd_set.set write fd
+    else Fd_set.clear write fd
+  in
+  {
+    name = "select";
+    add;
+    modify = add;
+    remove =
+      (fun fd ->
+        Fd_set.clear read fd;
+        Fd_set.clear write fd);
+    wait =
+      (fun ~timeout ~k ->
+        Select.select ~host
+          ~lookup:(Process.lookup_socket proc)
+          ~read ~write ~except:read ~timeout
+          ~k:(fun result -> k (to_events result)));
+    interest_count = (fun () -> Fd_set.cardinal read);
+  }
+
+let epoll ?(max_events = 64) proc =
+  let ep = Epoll.create ~host:(Process.host proc) ~lookup:(Process.lookup_socket proc) in
+  {
+    name = "epoll";
+    add =
+      (fun fd mask ->
+        match Epoll.ctl_add ep ~fd ~events:mask () with
+        | Ok () -> ()
+        | Error `Eexist -> ignore (Epoll.ctl_mod ep ~fd ~events:mask)
+        | Error `Ebadf -> ());
+    modify = (fun fd mask -> ignore (Epoll.ctl_mod ep ~fd ~events:mask));
+    remove = (fun fd -> ignore (Epoll.ctl_del ep ~fd));
+    wait =
+      (fun ~timeout ~k ->
+        Epoll.wait ep ~max_events ~timeout ~k:(fun rs -> k (to_events rs)));
+    interest_count = (fun () -> Epoll.interest_count ep);
+  }

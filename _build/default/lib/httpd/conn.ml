@@ -1,0 +1,84 @@
+open Sio_sim
+open Sio_kernel
+
+type config = {
+  doc_bytes : int;
+  parse_cost : Time.t;
+  respond_cost : Time.t;
+  read_spin_cost : Time.t;
+  fs : Fs.t option;
+  use_sendfile : bool;
+}
+
+let not_found_body_bytes = 120
+
+let default_config =
+  {
+    doc_bytes = Http.default_document_bytes;
+    parse_cost = Time.us 240;
+    respond_cost = Time.us 340;
+    read_spin_cost = Time.us 15;
+    fs = None;
+    use_sendfile = false;
+  }
+
+type t = {
+  fd : int;
+  buf : Buffer.t;
+  mutable last_activity : Sio_sim.Time.t;
+}
+
+let create ~fd ~now = { fd; buf = Buffer.create 128; last_activity = now }
+let with_fd t ~fd = { t with fd }
+
+let fd t = t.fd
+let last_activity t = t.last_activity
+let touch t ~now = t.last_activity <- now
+
+type outcome = Replied of int | Again | Closed_by_peer
+
+let respond proc config t =
+  Kernel.compute proc config.parse_cost;
+  match Http.parse_request (Buffer.contents t.buf) with
+  | Error (`Incomplete | `Malformed) ->
+      (* Junk request: drop the connection, as thttpd does. *)
+      ignore (Kernel.close proc t.fd);
+      Closed_by_peer
+  | Ok req ->
+      Kernel.compute proc config.respond_cost;
+      let body_bytes =
+        match config.fs with
+        | None -> config.doc_bytes
+        | Some fs -> (
+            match Fs.read_file fs req.Http.path with
+            | Ok bytes -> bytes
+            | Error `Enoent -> not_found_body_bytes)
+      in
+      let total = Http.response_bytes ~body_bytes in
+      let send =
+        if config.use_sendfile then Kernel.sendfile else Kernel.write
+      in
+      let written = match send proc t.fd ~bytes_len:total with
+        | Ok n -> n
+        | Error (`Ebadf | `Emfile | `Eagain | `Einval) -> 0
+      in
+      ignore (Kernel.close proc t.fd);
+      if written = total then Replied written else Closed_by_peer
+
+let handle_readable proc config t ~now =
+  t.last_activity <- now;
+  match Kernel.read proc t.fd with
+  | Ok (Kernel.Data (text, _bytes)) ->
+      Buffer.add_string t.buf text;
+      if Http.is_complete (Buffer.contents t.buf) then respond proc config t
+      else begin
+        Kernel.compute proc config.read_spin_cost;
+        Again
+      end
+  | Ok Kernel.Eagain ->
+      Kernel.compute proc config.read_spin_cost;
+      Again
+  | Ok Kernel.Eof | Ok Kernel.Econnreset ->
+      ignore (Kernel.close proc t.fd);
+      Closed_by_peer
+  | Error (`Ebadf | `Emfile | `Eagain | `Einval) -> Closed_by_peer

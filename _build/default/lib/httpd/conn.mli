@@ -1,0 +1,56 @@
+(** Per-connection server state machine.
+
+    Shared by every server in this library: accumulate request text
+    until the headers are complete, spend the configured user-space
+    CPU parsing and building the response, write it, and close
+    (HTTP/1.0, no keep-alive — the paper's workload). *)
+
+open Sio_sim
+open Sio_kernel
+
+type config = {
+  doc_bytes : int;
+      (** response body size when serving synthetically (paper: 6144) *)
+  parse_cost : Time.t;  (** user CPU to parse a complete request *)
+  respond_cost : Time.t;
+      (** user CPU to locate the (cached) document and build headers *)
+  read_spin_cost : Time.t;
+      (** user CPU for an event that produced no complete request *)
+  fs : Fs.t option;
+      (** when set, documents come from the filesystem substrate: the
+          requested path is stat'ed and read through the page cache,
+          and unknown paths get a 404 *)
+  use_sendfile : bool;
+      (** respond through {!Kernel.sendfile} instead of write() *)
+}
+
+val not_found_body_bytes : int
+(** Size of the 404 page served for unknown paths. *)
+
+val default_config : config
+(** Calibrated so one request costs ≈0.9 ms of CPU end to end on the
+    default cost model (see DESIGN.md). *)
+
+type t
+
+val create : fd:int -> now:Time.t -> t
+
+val with_fd : t -> fd:int -> t
+(** The same connection state rebound to a new descriptor number —
+    what happens when a connection is passed to another process over a
+    UNIX-domain socket (phhttpd's overflow handoff). *)
+
+val fd : t -> int
+val last_activity : t -> Time.t
+val touch : t -> now:Time.t -> unit
+
+type outcome =
+  | Replied of int  (** response bytes written; connection closed *)
+  | Again  (** request not complete yet; keep waiting *)
+  | Closed_by_peer  (** EOF or error before a full request *)
+
+val handle_readable : Process.t -> config -> t -> now:Time.t -> outcome
+(** Drive the state machine on a readable event. The caller closes the
+    descriptor and drops the connection on [Replied] and
+    [Closed_by_peer]; this function performs the reads, CPU charges,
+    the response write, and the close itself. *)

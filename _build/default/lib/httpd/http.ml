@@ -1,0 +1,42 @@
+type request = { meth : string; path : string }
+
+let build_request ~path =
+  Printf.sprintf "GET %s HTTP/1.0\r\nHost: server\r\nUser-Agent: httperf/0.8\r\n\r\n" path
+
+let request_bytes ~path = String.length (build_request ~path)
+
+let terminator = "\r\n\r\n"
+
+let contains_terminator s =
+  let n = String.length s and m = String.length terminator in
+  let rec at i =
+    if i + m > n then false
+    else if String.sub s i m = terminator then true
+    else at (i + 1)
+  in
+  at 0
+
+let is_complete = contains_terminator
+
+let parse_request s =
+  if not (is_complete s) then Error `Incomplete
+  else
+    match String.index_opt s '\r' with
+    | None -> Error `Malformed
+    | Some eol -> (
+        let line = String.sub s 0 eol in
+        match String.split_on_char ' ' line with
+        | [ meth; path; version ]
+          when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+            Ok { meth; path }
+        | _ -> Error `Malformed)
+
+let response_head_bytes ~body_bytes =
+  String.length
+    (Printf.sprintf
+       "HTTP/1.0 200 OK\r\nServer: thttpd-sim\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n"
+       body_bytes)
+
+let response_bytes ~body_bytes = response_head_bytes ~body_bytes + body_bytes
+
+let default_document_bytes = 6144

@@ -1,0 +1,27 @@
+(** Minimal HTTP/1.0, enough for the paper's workload: a static GET of
+    a 6 KB document, served and closed. Requests are real text so that
+    the servers parse something; response bodies are modelled by size
+    only. *)
+
+type request = { meth : string; path : string }
+
+val build_request : path:string -> string
+(** A complete HTTP/1.0 GET request, terminated by CRLFCRLF. *)
+
+val request_bytes : path:string -> int
+(** [String.length (build_request ~path)]. *)
+
+val is_complete : string -> bool
+(** True when the buffered text contains the end-of-headers marker. *)
+
+val parse_request : string -> (request, [ `Incomplete | `Malformed ]) result
+(** Parses the first request line out of a complete request buffer. *)
+
+val response_head_bytes : body_bytes:int -> int
+(** Size of the status line plus headers for a [body_bytes] response. *)
+
+val response_bytes : body_bytes:int -> int
+(** Total wire size of a 200 response with the given body. *)
+
+val default_document_bytes : int
+(** 6144 — the paper's 6 Kbyte index.html from the CITI web site. *)

@@ -1,0 +1,38 @@
+open Sio_sim
+
+type t = {
+  mutable replies : int;
+  mutable accepted : int;
+  mutable dropped_conns : int;
+  mutable timed_out_conns : int;
+  mutable stale_events : int;
+  mutable overflow_recoveries : int;
+  mutable mode_switches : int;
+  mutable emfile_drops : int;
+  reply_sampler : Sampler.t;
+}
+
+let create ?(sample_interval = Time.s 1) () =
+  {
+    replies = 0;
+    accepted = 0;
+    dropped_conns = 0;
+    timed_out_conns = 0;
+    stale_events = 0;
+    overflow_recoveries = 0;
+    mode_switches = 0;
+    emfile_drops = 0;
+    reply_sampler = Sampler.create ~interval:sample_interval;
+  }
+
+let record_reply t ~now =
+  t.replies <- t.replies + 1;
+  Sampler.record t.reply_sampler ~now
+
+let reply_rates t ~until = Sampler.rates t.reply_sampler ~until
+
+let pp ppf t =
+  Fmt.pf ppf
+    "replies=%d accepted=%d dropped=%d timed_out=%d stale=%d overflows=%d switches=%d emfile=%d"
+    t.replies t.accepted t.dropped_conns t.timed_out_conns t.stale_events
+    t.overflow_recoveries t.mode_switches t.emfile_drops

@@ -1,0 +1,26 @@
+(** Counters every server implementation exposes, plus the per-second
+    reply sampler the benchmark harness reads. *)
+
+open Sio_sim
+
+type t = {
+  mutable replies : int;
+  mutable accepted : int;
+  mutable dropped_conns : int;  (** closed before a full request *)
+  mutable timed_out_conns : int;  (** closed by the idle sweep *)
+  mutable stale_events : int;  (** events naming an unknown/closed fd *)
+  mutable overflow_recoveries : int;  (** RT queue overflow episodes *)
+  mutable mode_switches : int;  (** hybrid: signals <-> polling *)
+  mutable emfile_drops : int;  (** accepts refused for lack of fds *)
+  reply_sampler : Sampler.t;
+}
+
+val create : ?sample_interval:Time.t -> unit -> t
+(** Default sampling interval: 1 s. *)
+
+val record_reply : t -> now:Time.t -> unit
+
+val reply_rates : t -> until:Time.t -> float list
+(** Per-interval reply rates (replies/s), including empty intervals. *)
+
+val pp : Format.formatter -> t -> unit

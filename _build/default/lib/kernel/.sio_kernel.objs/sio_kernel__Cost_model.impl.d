@@ -1,0 +1,1 @@
+lib/kernel/cost_model.ml: Sio_sim Time

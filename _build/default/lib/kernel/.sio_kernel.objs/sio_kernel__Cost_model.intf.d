@@ -1,0 +1,1 @@
+lib/kernel/cost_model.mli: Sio_sim Time

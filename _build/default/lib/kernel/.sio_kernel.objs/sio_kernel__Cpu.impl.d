@@ -1,0 +1,1 @@
+lib/kernel/cpu.ml: Engine Float Sio_sim Time

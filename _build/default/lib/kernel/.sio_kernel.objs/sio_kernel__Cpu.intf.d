@@ -1,0 +1,1 @@
+lib/kernel/cpu.mli: Engine Sio_sim Time

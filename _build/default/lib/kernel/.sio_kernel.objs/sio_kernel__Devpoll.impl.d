@@ -1,0 +1,1 @@
+lib/kernel/devpoll.ml: Cost_model Engine Hashtbl Host Interest_table List Poll Pollmask Sio_sim Socket Stdlib Time Wait_queue

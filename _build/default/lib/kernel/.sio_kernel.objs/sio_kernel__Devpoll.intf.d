@@ -1,0 +1,1 @@
+lib/kernel/devpoll.mli: Host Interest_table Poll Pollmask Sio_sim Socket Time

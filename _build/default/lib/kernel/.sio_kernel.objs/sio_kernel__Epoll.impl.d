@@ -1,0 +1,1 @@
+lib/kernel/epoll.ml: Cost_model Engine Hashtbl Host List Poll Pollmask Queue Sio_sim Socket Time Wait_queue

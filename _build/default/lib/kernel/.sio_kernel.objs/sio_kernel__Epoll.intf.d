@@ -1,0 +1,1 @@
+lib/kernel/epoll.mli: Host Poll Pollmask Sio_sim Socket Time

@@ -1,0 +1,1 @@
+lib/kernel/fs.ml: Hashtbl Host Page_cache Sio_sim Time

@@ -1,0 +1,1 @@
+lib/kernel/fs.mli: Host Sio_sim Time

@@ -1,0 +1,1 @@
+lib/kernel/host.ml: Cost_model Cpu Engine Sio_sim Wait_queue

@@ -1,0 +1,1 @@
+lib/kernel/host.mli: Cost_model Cpu Engine Sio_sim Time Wait_queue

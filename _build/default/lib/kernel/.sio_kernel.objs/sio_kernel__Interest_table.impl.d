@@ -1,0 +1,1 @@
+lib/kernel/interest_table.ml: Array List Pollmask

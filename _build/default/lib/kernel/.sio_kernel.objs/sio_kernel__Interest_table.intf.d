@@ -1,0 +1,1 @@
+lib/kernel/interest_table.mli: Pollmask

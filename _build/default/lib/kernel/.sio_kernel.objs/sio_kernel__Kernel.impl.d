@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Cost_model Devpoll Fd_table Host Poll Process Rt_signal Sio_sim Socket Time

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Poll Pollmask Process Rt_signal Sio_sim Socket Time

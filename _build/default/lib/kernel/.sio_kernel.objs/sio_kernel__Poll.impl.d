@@ -1,0 +1,1 @@
+lib/kernel/poll.ml: Cost_model Engine Host List Pollmask Sio_sim Socket Time

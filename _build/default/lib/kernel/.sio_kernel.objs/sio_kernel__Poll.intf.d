@@ -1,0 +1,1 @@
+lib/kernel/poll.mli: Host Pollmask Sio_sim Socket Time

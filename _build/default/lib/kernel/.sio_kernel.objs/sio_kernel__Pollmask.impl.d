@@ -1,0 +1,1 @@
+lib/kernel/pollmask.ml: Fmt Int List

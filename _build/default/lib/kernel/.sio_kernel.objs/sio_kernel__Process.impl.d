@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Devpoll Fd_table Host Rt_signal Socket

@@ -1,0 +1,1 @@
+lib/kernel/rt_signal.ml: Cost_model Engine Hashtbl Heap Host List Pollmask Queue Sio_sim Socket Time

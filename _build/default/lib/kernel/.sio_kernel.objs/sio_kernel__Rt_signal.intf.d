@@ -1,0 +1,1 @@
+lib/kernel/rt_signal.mli: Host Pollmask Sio_sim Socket Time

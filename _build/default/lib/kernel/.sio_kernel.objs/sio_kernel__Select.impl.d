@@ -1,0 +1,1 @@
+lib/kernel/select.ml: Cost_model Engine Fd_set Host List Pollmask Sio_sim Socket Stdlib Time

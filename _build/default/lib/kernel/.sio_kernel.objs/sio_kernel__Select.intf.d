@@ -1,0 +1,1 @@
+lib/kernel/select.mli: Fd_set Host Sio_sim Socket Time

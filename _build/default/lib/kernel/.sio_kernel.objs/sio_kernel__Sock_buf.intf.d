@@ -1,0 +1,1 @@
+lib/kernel/sock_buf.mli:

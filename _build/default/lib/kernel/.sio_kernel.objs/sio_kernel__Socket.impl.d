@@ -1,0 +1,1 @@
+lib/kernel/socket.ml: Buffer Cost_model Fmt Host List Pollmask Queue Sock_buf String Wait_queue

@@ -1,0 +1,1 @@
+lib/kernel/socket.mli: Format Host Pollmask

@@ -1,0 +1,1 @@
+lib/kernel/tcp.ml: Cost_model Host Network Pollmask Sio_net Sio_sim Socket Time

@@ -1,0 +1,1 @@
+lib/kernel/tcp.mli: Network Sio_net Sio_sim Socket Time

@@ -1,0 +1,1 @@
+lib/kernel/wait_queue.ml: List

@@ -1,0 +1,96 @@
+open Sio_sim
+
+type t = {
+  syscall_entry : Time.t;
+  poll_copyin_per_fd : Time.t;
+  poll_copyout_per_ready : Time.t;
+  driver_poll_callback : Time.t;
+  hint_check : Time.t;
+  wait_queue_register : Time.t;
+  wait_queue_unregister : Time.t;
+  wait_queue_wake : Time.t;
+  devpoll_write_per_change : Time.t;
+  interest_hash_op : Time.t;
+  backmap_read_lock : Time.t;
+  backmap_write_lock : Time.t;
+  mmap_setup : Time.t;
+  rt_enqueue : Time.t;
+  rt_dequeue : Time.t;
+  sigwait_call : Time.t;
+  fcntl_call : Time.t;
+  softirq_per_packet : Time.t;
+  accept_syscall : Time.t;
+  read_syscall : Time.t;
+  write_syscall : Time.t;
+  close_syscall : Time.t;
+  copy_per_byte_ns : float;
+  sendfile_per_byte_ns : float;
+}
+
+(* Calibration notes: a 400 MHz K6-2 executes ~2-3 us of kernel path
+   per light syscall. The 6 KB document of the paper's workload then
+   costs: accept (~30us incl. socket setup) + read+parse (~50us) +
+   write 6KB (~2us + 6144B * 25ns = ~155us) + close (~20us) + the
+   server's own user-space work (charged by the HTTP layer, ~500us on
+   this class of hardware) ~= 0.9ms -> peak ~1100 replies/s. *)
+let default =
+  {
+    syscall_entry = Time.ns 2_000;
+    poll_copyin_per_fd = Time.ns 3_000;
+    poll_copyout_per_ready = Time.ns 180;
+    driver_poll_callback = Time.ns 12_000;
+    hint_check = Time.ns 300;
+    wait_queue_register = Time.ns 500;
+    wait_queue_unregister = Time.ns 300;
+    wait_queue_wake = Time.ns 700;
+    devpoll_write_per_change = Time.ns 400;
+    interest_hash_op = Time.ns 900;
+    backmap_read_lock = Time.ns 60;
+    backmap_write_lock = Time.ns 180;
+    mmap_setup = Time.us 12;
+    rt_enqueue = Time.ns 350;
+    rt_dequeue = Time.ns 1_000;
+    sigwait_call = Time.ns 28_000;
+    fcntl_call = Time.ns 400;
+    softirq_per_packet = Time.us 6;
+    accept_syscall = Time.us 28;
+    read_syscall = Time.us 4;
+    write_syscall = Time.us 4;
+    close_syscall = Time.us 18;
+    copy_per_byte_ns = 25.0;
+    sendfile_per_byte_ns = 12.0;
+  }
+
+let copy_cost t ~bytes_len =
+  Time.ns (int_of_float (t.copy_per_byte_ns *. float_of_int bytes_len))
+
+let sendfile_cost t ~bytes_len =
+  Time.ns (int_of_float (t.sendfile_per_byte_ns *. float_of_int bytes_len))
+
+let zero =
+  {
+    syscall_entry = Time.zero;
+    poll_copyin_per_fd = Time.zero;
+    poll_copyout_per_ready = Time.zero;
+    driver_poll_callback = Time.zero;
+    hint_check = Time.zero;
+    wait_queue_register = Time.zero;
+    wait_queue_unregister = Time.zero;
+    wait_queue_wake = Time.zero;
+    devpoll_write_per_change = Time.zero;
+    interest_hash_op = Time.zero;
+    backmap_read_lock = Time.zero;
+    backmap_write_lock = Time.zero;
+    mmap_setup = Time.zero;
+    rt_enqueue = Time.zero;
+    rt_dequeue = Time.zero;
+    sigwait_call = Time.zero;
+    fcntl_call = Time.zero;
+    softirq_per_packet = Time.zero;
+    accept_syscall = Time.zero;
+    read_syscall = Time.zero;
+    write_syscall = Time.zero;
+    close_syscall = Time.zero;
+    copy_per_byte_ns = 0.;
+    sendfile_per_byte_ns = 0.;
+  }

@@ -1,0 +1,37 @@
+open Sio_sim
+
+type t = {
+  engine : Engine.t;
+  infinite : bool;
+  mutable busy_until : Time.t;
+  mutable total_busy : Time.t;
+}
+
+let create ~engine =
+  { engine; infinite = false; busy_until = Time.zero; total_busy = Time.zero }
+
+let infinitely_fast ~engine =
+  { engine; infinite = true; busy_until = Time.zero; total_busy = Time.zero }
+
+let consume t cost =
+  if Time.is_negative cost then invalid_arg "Cpu.consume: negative cost";
+  let now = Engine.now t.engine in
+  if t.infinite then now
+  else begin
+    let start = Time.max now t.busy_until in
+    let finish = Time.add start cost in
+    t.busy_until <- finish;
+    t.total_busy <- Time.add t.total_busy cost;
+    finish
+  end
+
+let run t ~cost k =
+  let finish = consume t cost in
+  ignore (Engine.at t.engine finish k)
+
+let busy_until t = t.busy_until
+let total_busy t = t.total_busy
+
+let utilization t ~now =
+  if now <= 0 then 0.
+  else Float.min 1.0 (Time.to_sec_f t.total_busy /. Time.to_sec_f now)

@@ -1,0 +1,37 @@
+(** A single simulated CPU.
+
+    The server host in the paper deliberately has one slow CPU so it
+    can be driven into overload. All work on a host — kernel paths,
+    softirqs, and every server process/thread — serializes through one
+    [Cpu.t]. Work is charged in submission order (FIFO), which is how
+    a run queue behaves when every task runs to completion of its
+    short burst.
+
+    [consume] returns the completion time of the burst; callers
+    schedule their continuation there. An [infinitely_fast] CPU (the
+    benchmark client's 4-way Xeon, never the bottleneck) completes
+    everything instantly. *)
+
+open Sio_sim
+
+type t
+
+val create : engine:Engine.t -> t
+val infinitely_fast : engine:Engine.t -> t
+
+val consume : t -> Time.t -> Time.t
+(** [consume cpu cost] appends [cost] to the CPU's work queue and
+    returns the simulated time at which that burst completes. Raises
+    [Invalid_argument] on negative cost. *)
+
+val run : t -> cost:Time.t -> (unit -> unit) -> unit
+(** [run cpu ~cost k] charges [cost] and schedules [k] at the burst's
+    completion time. *)
+
+val busy_until : t -> Time.t
+
+val total_busy : t -> Time.t
+(** Accumulated charged time; the basis for utilization reports. *)
+
+val utilization : t -> now:Time.t -> float
+(** [total_busy / now], clamped to [0, 1]. *)

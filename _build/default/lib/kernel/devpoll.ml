@@ -1,0 +1,237 @@
+open Sio_sim
+
+type sub = { sock_id : int; socket : Socket.t; token : int }
+
+type t = {
+  host : Host.t;
+  lookup : int -> Socket.t option;
+  table : Interest_table.t;
+  subs : (int, sub) Hashtbl.t; (* fd -> backmap subscription *)
+  wq : Socket.waiter Wait_queue.t; (* sleepers inside dp_poll *)
+  mutable result_slots : int option;
+  mutable closed : bool;
+}
+
+let create ~host ~lookup =
+  {
+    host;
+    lookup;
+    table = Interest_table.create ();
+    subs = Hashtbl.create 64;
+    wq = Wait_queue.create ();
+    result_slots = None;
+    closed = false;
+  }
+
+let check_open t = if t.closed then invalid_arg "Devpoll: instance is closed"
+
+(* Wake any task sleeping in dp_poll on this instance. *)
+let wake_sleepers t mask =
+  let costs = t.host.Host.costs in
+  ignore
+    (Wait_queue.wake t.wq ~policy:t.host.Host.wake_policy (fun w ->
+         let counters = t.host.Host.counters in
+         counters.Host.wait_queue_wakes <- counters.Host.wait_queue_wakes + 1;
+         ignore (Host.charge t.host costs.Cost_model.wait_queue_wake);
+         w.Socket.wake mask))
+
+(* Install the backmap subscription for fd on its current socket: the
+   driver posts hints into the interest record and wakes sleepers. *)
+let subscribe t fd (sock : Socket.t) =
+  let token =
+    Socket.subscribe sock (fun mask ->
+        (match Interest_table.find t.table fd with
+        | Some interest ->
+            interest.Interest_table.hint <- Pollmask.union interest.Interest_table.hint mask
+        | None -> ());
+        wake_sleepers t mask)
+  in
+  Hashtbl.replace t.subs fd { sock_id = Socket.id sock; socket = sock; token }
+
+let unsubscribe t fd =
+  match Hashtbl.find_opt t.subs fd with
+  | None -> ()
+  | Some sub ->
+      Socket.unsubscribe sub.socket sub.token;
+      Hashtbl.remove t.subs fd
+
+let write t entries =
+  check_open t;
+  let costs = t.host.Host.costs in
+  let counters = t.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge t.host costs.Cost_model.syscall_entry);
+  ignore (Host.charge t.host costs.Cost_model.backmap_write_lock);
+  List.iter
+    (fun (fd, events) ->
+      ignore (Host.charge t.host costs.Cost_model.devpoll_write_per_change);
+      if Pollmask.mem Pollmask.pollremove events then begin
+        unsubscribe t fd;
+        ignore (Interest_table.remove t.table fd)
+      end
+      else begin
+        ignore (Interest_table.set t.table ~fd ~events);
+        match t.lookup fd with
+        | Some sock -> (
+            match Hashtbl.find_opt t.subs fd with
+            | Some sub when sub.sock_id = Socket.id sock -> ()
+            | Some _ ->
+                unsubscribe t fd;
+                subscribe t fd sock
+            | None -> subscribe t fd sock)
+        | None -> unsubscribe t fd
+      end)
+    entries
+
+let alloc_result_map t ~slots =
+  check_open t;
+  if slots <= 0 then invalid_arg "Devpoll.alloc_result_map: slots must be positive";
+  if t.result_slots <> None then
+    invalid_arg "Devpoll.alloc_result_map: mapping already exists";
+  let costs = t.host.Host.costs in
+  ignore (Host.charge t.host costs.Cost_model.syscall_entry);
+  ignore (Host.charge t.host costs.Cost_model.mmap_setup);
+  t.result_slots <- Some slots
+
+let release_result_map t =
+  check_open t;
+  t.result_slots <- None
+
+let has_result_map t = t.result_slots <> None
+
+let forced = Pollmask.union Pollmask.pollerr (Pollmask.union Pollmask.pollhup Pollmask.pollnval)
+
+(* Examine one interest, spending as little as the hints allow. *)
+let probe t (interest : Interest_table.interest) =
+  let costs = t.host.Host.costs in
+  let counters = t.host.Host.counters in
+  ignore (Host.charge t.host costs.Cost_model.interest_hash_op);
+  let fd = interest.Interest_table.fd in
+  match t.lookup fd with
+  | None -> Pollmask.pollnval
+  | Some sock ->
+      (* Descriptor reuse: rebind the backmap to the new socket. *)
+      (match Hashtbl.find_opt t.subs fd with
+      | Some sub when sub.sock_id = Socket.id sock -> ()
+      | Some _ | None ->
+          unsubscribe t fd;
+          subscribe t fd sock;
+          interest.Interest_table.hint <- Pollmask.empty;
+          interest.Interest_table.cached <- None);
+      let consult_driver () =
+        let st = Socket.driver_poll sock in
+        interest.Interest_table.cached <- Some st;
+        interest.Interest_table.hint <- Pollmask.empty;
+        st
+      in
+      let st =
+        if not (Socket.hints_supported sock) then consult_driver ()
+        else begin
+          ignore (Host.charge t.host costs.Cost_model.hint_check);
+          if not (Pollmask.is_empty interest.Interest_table.hint) then consult_driver ()
+          else
+            match interest.Interest_table.cached with
+            | Some cached
+              when Pollmask.is_empty
+                     (Pollmask.inter cached
+                        (Pollmask.union interest.Interest_table.events forced)) ->
+                (* Cached "not ready" with no hint: trust it. *)
+                counters.Host.hint_skips <- counters.Host.hint_skips + 1;
+                cached
+            | Some _ ->
+                (* Cached "ready" must be revalidated: hints never
+                   report ready-to-not-ready transitions. *)
+                consult_driver ()
+            | None -> consult_driver ()
+        end
+      in
+      Pollmask.inter st (Pollmask.union interest.Interest_table.events forced)
+
+let scan t ~max_results =
+  let results =
+    Interest_table.fold t.table ~init:[] ~f:(fun acc interest ->
+        if List.length acc >= max_results then acc
+        else begin
+          let revents = probe t interest in
+          if Pollmask.is_empty revents then acc
+          else { Poll.fd = interest.Interest_table.fd; revents } :: acc
+        end)
+  in
+  List.rev results
+
+let dp_poll t ~max_results ~timeout ~k =
+  check_open t;
+  if max_results <= 0 then invalid_arg "Devpoll.dp_poll: max_results must be positive";
+  let costs = t.host.Host.costs in
+  let counters = t.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge t.host costs.Cost_model.syscall_entry);
+  let finish results =
+    (* With the shared mapping there is nothing to copy out. *)
+    if t.result_slots = None then
+      ignore
+        (Host.charge t.host
+           (Time.mul costs.Cost_model.poll_copyout_per_ready (List.length results)));
+    Host.charge_run t.host ~cost:Time.zero (fun () -> k results)
+  in
+  let cap =
+    match t.result_slots with
+    | Some slots -> Stdlib.min max_results slots
+    | None -> max_results
+  in
+  let first = scan t ~max_results:cap in
+  if first <> [] then finish first
+  else
+    match timeout with
+    | Some x when x <= Time.zero -> finish []
+    | _ ->
+        let timer = ref None in
+        let waiter_ref = ref None in
+        let cleanup () =
+          (match !waiter_ref with
+          | Some w -> ignore (Wait_queue.unregister t.wq w)
+          | None -> ());
+          match !timer with
+          | Some h ->
+              Engine.cancel t.host.Host.engine h;
+              timer := None
+          | None -> ()
+        in
+        let rec on_wake _mask =
+          cleanup ();
+          let results = scan t ~max_results:cap in
+          if results <> [] then finish results
+          else begin
+            let w = { Socket.wake = on_wake } in
+            waiter_ref := Some w;
+            Wait_queue.register t.wq w;
+            arm_timer ()
+          end
+        and arm_timer () =
+          match timeout with
+          | None -> ()
+          | Some x ->
+              timer :=
+                Some
+                  (Engine.after t.host.Host.engine x (fun () ->
+                       timer := None;
+                       cleanup ();
+                       finish []))
+        in
+        let w = { Socket.wake = on_wake } in
+        waiter_ref := Some w;
+        Wait_queue.register t.wq w;
+        ignore (Host.charge t.host costs.Cost_model.wait_queue_register);
+        arm_timer ()
+
+let interest_count t = Interest_table.length t.table
+let find_interest t fd = Interest_table.find t.table fd
+
+let close t =
+  if not t.closed then begin
+    Hashtbl.iter (fun _ sub -> Socket.unsubscribe sub.socket sub.token) t.subs;
+    Hashtbl.reset t.subs;
+    t.closed <- true
+  end
+
+let is_closed t = t.closed

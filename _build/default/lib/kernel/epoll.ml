@@ -1,0 +1,248 @@
+open Sio_sim
+
+type trigger = Level | Edge
+
+type interest = {
+  fd : int;
+  mutable events : Pollmask.t;
+  trigger : trigger;
+  mutable queued : bool; (* already on the ready list *)
+  mutable pending : Pollmask.t; (* accumulated edges (edge mode) *)
+  sock_id : int;
+  socket : Socket.t;
+  token : int; (* observer subscription *)
+}
+
+type t = {
+  host : Host.t;
+  lookup : int -> Socket.t option;
+  interests : (int, interest) Hashtbl.t;
+  ready : int Queue.t;
+  wq : Socket.waiter Wait_queue.t;
+  mutable closed : bool;
+}
+
+let create ~host ~lookup =
+  {
+    host;
+    lookup;
+    interests = Hashtbl.create 64;
+    ready = Queue.create ();
+    wq = Wait_queue.create ();
+    closed = false;
+  }
+
+let forced = Pollmask.union Pollmask.pollerr (Pollmask.union Pollmask.pollhup Pollmask.pollnval)
+
+let wake_sleepers t mask =
+  let costs = t.host.Host.costs in
+  ignore
+    (Wait_queue.wake t.wq ~policy:t.host.Host.wake_policy (fun w ->
+         let counters = t.host.Host.counters in
+         counters.Host.wait_queue_wakes <- counters.Host.wait_queue_wakes + 1;
+         ignore (Host.charge t.host costs.Cost_model.wait_queue_wake);
+         w.Socket.wake mask))
+
+(* The hint path: O(1) append to the ready list. *)
+let enqueue_ready t interest mask =
+  let costs = t.host.Host.costs in
+  ignore (Host.charge t.host costs.Cost_model.backmap_read_lock);
+  interest.pending <- Pollmask.union interest.pending mask;
+  if (not interest.queued) && Pollmask.intersects mask (Pollmask.union interest.events forced)
+  then begin
+    interest.queued <- true;
+    Queue.add interest.fd t.ready
+  end;
+  wake_sleepers t mask
+
+let charge_ctl t =
+  let costs = t.host.Host.costs in
+  let counters = t.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge t.host costs.Cost_model.syscall_entry);
+  ignore (Host.charge t.host costs.Cost_model.interest_hash_op)
+
+let ctl_add t ~fd ~events ?(trigger = Level) () =
+  charge_ctl t;
+  if Hashtbl.mem t.interests fd then Error `Eexist
+  else
+    match t.lookup fd with
+    | None -> Error `Ebadf
+    | Some socket ->
+        (* The observer closure needs the interest record and vice
+           versa; tie the knot through a ref. *)
+        let interest_ref = ref None in
+        let token =
+          Socket.subscribe socket (fun mask ->
+              match !interest_ref with
+              | Some interest -> enqueue_ready t interest mask
+              | None -> ())
+        in
+        let interest =
+          {
+            fd;
+            events;
+            trigger;
+            queued = false;
+            pending = Pollmask.empty;
+            sock_id = Socket.id socket;
+            socket;
+            token;
+          }
+        in
+        interest_ref := Some interest;
+        Hashtbl.replace t.interests fd interest;
+        (* No lost startup events: if already ready, queue now. *)
+        let st = Socket.status socket in
+        if Pollmask.intersects st (Pollmask.union events forced) then begin
+          interest.pending <- st;
+          interest.queued <- true;
+          Queue.add fd t.ready
+        end;
+        Ok ()
+
+let ctl_mod t ~fd ~events =
+  charge_ctl t;
+  match Hashtbl.find_opt t.interests fd with
+  | None -> Error `Enoent
+  | Some interest ->
+      interest.events <- events;
+      (* A newly interesting condition may already hold. *)
+      let st = Socket.status interest.socket in
+      if
+        (not interest.queued)
+        && Pollmask.intersects st (Pollmask.union events forced)
+      then begin
+        interest.queued <- true;
+        Queue.add fd t.ready
+      end;
+      Ok ()
+
+let ctl_del t ~fd =
+  charge_ctl t;
+  match Hashtbl.find_opt t.interests fd with
+  | None -> Error `Enoent
+  | Some interest ->
+      Socket.unsubscribe interest.socket interest.token;
+      Hashtbl.remove t.interests fd;
+      (* A stale ready-list entry is dropped lazily at the next wait. *)
+      Ok ()
+
+(* Pop up to [max] valid ready entries, validating each against the
+   driver: O(ready), never O(interests). *)
+let harvest t ~max_events =
+  let results = ref [] in
+  let n = ref 0 in
+  let requeue = ref [] in
+  let continue = ref true in
+  while !continue && !n < max_events && not (Queue.is_empty t.ready) do
+    let fd = Queue.take t.ready in
+    match Hashtbl.find_opt t.interests fd with
+    | None -> () (* deleted while queued *)
+    | Some interest -> (
+        interest.queued <- false;
+        match t.lookup fd with
+        | None ->
+            (* Descriptor closed while queued: report NVAL once. *)
+            results := { Poll.fd; revents = Pollmask.pollnval } :: !results;
+            incr n
+        | Some sock when Socket.id sock <> interest.sock_id ->
+            (* fd reused by a different socket; epoll keys on the open
+               file, so the old interest is dead. *)
+            Socket.unsubscribe interest.socket interest.token;
+            Hashtbl.remove t.interests fd
+        | Some sock ->
+            let st = Socket.driver_poll sock in
+            let revents =
+              match interest.trigger with
+              | Level -> Pollmask.inter st (Pollmask.union interest.events forced)
+              | Edge ->
+                  Pollmask.inter
+                    (Pollmask.union interest.pending st)
+                    (Pollmask.union interest.events forced)
+            in
+            interest.pending <- Pollmask.empty;
+            if Pollmask.is_empty revents then () (* stale: readiness evaporated *)
+            else begin
+              results := { Poll.fd; revents } :: !results;
+              incr n;
+              (* Level-triggered and still ready: stays on the list. *)
+              if interest.trigger = Level then requeue := interest :: !requeue
+            end)
+  done;
+  List.iter
+    (fun interest ->
+      if not interest.queued then begin
+        interest.queued <- true;
+        Queue.add interest.fd t.ready
+      end)
+    !requeue;
+  List.rev !results
+
+let wait t ~max_events ~timeout ~k =
+  if t.closed then invalid_arg "Epoll.wait: closed";
+  if max_events <= 0 then invalid_arg "Epoll.wait: max_events must be positive";
+  let costs = t.host.Host.costs in
+  let counters = t.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge t.host costs.Cost_model.syscall_entry);
+  let finish results =
+    ignore
+      (Host.charge t.host
+         (Time.mul costs.Cost_model.poll_copyout_per_ready (List.length results)));
+    Host.charge_run t.host ~cost:Time.zero (fun () -> k results)
+  in
+  let first = harvest t ~max_events in
+  if first <> [] then finish first
+  else
+    match timeout with
+    | Some x when x <= Time.zero -> finish []
+    | _ ->
+        let timer = ref None in
+        let waiter_ref = ref None in
+        let cleanup () =
+          (match !waiter_ref with
+          | Some w -> ignore (Wait_queue.unregister t.wq w)
+          | None -> ());
+          match !timer with
+          | Some h ->
+              Engine.cancel t.host.Host.engine h;
+              timer := None
+          | None -> ()
+        in
+        let rec on_wake _mask =
+          cleanup ();
+          let results = harvest t ~max_events in
+          if results <> [] then finish results
+          else begin
+            let w = { Socket.wake = on_wake } in
+            waiter_ref := Some w;
+            Wait_queue.register t.wq w;
+            arm_timer ()
+          end
+        and arm_timer () =
+          match timeout with
+          | None -> ()
+          | Some x ->
+              timer :=
+                Some
+                  (Engine.after t.host.Host.engine x (fun () ->
+                       timer := None;
+                       cleanup ();
+                       finish []))
+        in
+        let w = { Socket.wake = on_wake } in
+        waiter_ref := Some w;
+        Wait_queue.register t.wq w;
+        arm_timer ()
+
+let interest_count t = Hashtbl.length t.interests
+let ready_count t = Queue.length t.ready
+
+let close t =
+  if not t.closed then begin
+    Hashtbl.iter (fun _ i -> Socket.unsubscribe i.socket i.token) t.interests;
+    Hashtbl.reset t.interests;
+    Queue.clear t.ready;
+    t.closed <- true
+  end

@@ -1,0 +1,51 @@
+let fd_setsize = 1024
+let words = fd_setsize / 63
+
+type t = { bits : int array; mutable count : int; mutable max_fd : int }
+
+let create () = { bits = Array.make (words + 1) 0; count = 0; max_fd = -1 }
+
+let check fd =
+  if fd < 0 || fd >= fd_setsize then
+    invalid_arg (Printf.sprintf "Fd_set: fd %d outside [0, %d)" fd fd_setsize)
+
+let set t fd =
+  check fd;
+  let w = fd / 63 and b = fd mod 63 in
+  if t.bits.(w) land (1 lsl b) = 0 then begin
+    t.bits.(w) <- t.bits.(w) lor (1 lsl b);
+    t.count <- t.count + 1;
+    if fd > t.max_fd then t.max_fd <- fd
+  end
+
+let mem t fd = fd >= 0 && fd < fd_setsize && t.bits.(fd / 63) land (1 lsl (fd mod 63)) <> 0
+
+(* Recompute the maximum after clearing the old maximum. *)
+let rescan_max t from =
+  let rec go fd = if fd < 0 then -1 else if mem t fd then fd else go (fd - 1) in
+  t.max_fd <- go from
+
+let clear t fd =
+  check fd;
+  let w = fd / 63 and b = fd mod 63 in
+  if t.bits.(w) land (1 lsl b) <> 0 then begin
+    t.bits.(w) <- t.bits.(w) land lnot (1 lsl b);
+    t.count <- t.count - 1;
+    if fd = t.max_fd then rescan_max t (fd - 1)
+  end
+
+let is_empty t = t.count = 0
+let cardinal t = t.count
+let max_fd t = t.max_fd
+
+let iter t f =
+  for fd = 0 to t.max_fd do
+    if mem t fd then f fd
+  done
+
+let copy t = { bits = Array.copy t.bits; count = t.count; max_fd = t.max_fd }
+
+let clear_all t =
+  Array.fill t.bits 0 (Array.length t.bits) 0;
+  t.count <- 0;
+  t.max_fd <- -1

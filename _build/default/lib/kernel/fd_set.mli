@@ -1,0 +1,31 @@
+(** select()-style descriptor sets.
+
+    A bitmap over descriptors 0 .. FD_SETSIZE-1, with the hard 1024
+    limit that the paper calls out as a practical scalability wall
+    (httperf "assumes that the maximum is 1024" because of it). *)
+
+type t
+
+val fd_setsize : int
+(** 1024, as in 2.2-era glibc. *)
+
+val create : unit -> t
+(** FD_ZERO. *)
+
+val set : t -> int -> unit
+(** FD_SET. Raises [Invalid_argument] if the fd is negative or at
+    least {!fd_setsize} — the overflow that real programs hit. *)
+
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val max_fd : t -> int
+(** Highest set descriptor, or -1 when empty; select's [nfds - 1]. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Ascending order. *)
+
+val copy : t -> t
+val clear_all : t -> unit

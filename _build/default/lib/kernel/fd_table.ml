@@ -1,0 +1,55 @@
+type 'a t = {
+  limit : int;
+  slots : (int, 'a) Hashtbl.t;
+  mutable search_from : int; (* lower bound on the lowest free slot *)
+}
+
+let create ?(limit = 1024) () =
+  if limit <= 0 then invalid_arg "Fd_table.create: limit must be positive";
+  { limit; slots = Hashtbl.create 64; search_from = 0 }
+
+let limit t = t.limit
+
+let alloc t v =
+  if Hashtbl.length t.slots >= t.limit then Error `Emfile
+  else begin
+    (* search_from is maintained as a lower bound: it only moves back
+       on close, so this scan is amortized O(1). *)
+    let rec find_free fd = if Hashtbl.mem t.slots fd then find_free (fd + 1) else fd in
+    let fd = find_free t.search_from in
+    Hashtbl.replace t.slots fd v;
+    t.search_from <- fd + 1;
+    Ok fd
+  end
+
+let alloc_exn t v =
+  match alloc t v with
+  | Ok fd -> fd
+  | Error `Emfile -> failwith "Fd_table.alloc_exn: out of descriptors"
+
+let find t fd = Hashtbl.find_opt t.slots fd
+
+let find_exn t fd =
+  match find t fd with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Fd_table.find_exn: fd %d not open" fd)
+
+let set t fd v =
+  if not (Hashtbl.mem t.slots fd) then
+    invalid_arg (Printf.sprintf "Fd_table.set: fd %d not open" fd)
+  else Hashtbl.replace t.slots fd v
+
+let close t fd =
+  match Hashtbl.find_opt t.slots fd with
+  | None -> None
+  | Some v ->
+      Hashtbl.remove t.slots fd;
+      if fd < t.search_from then t.search_from <- fd;
+      Some v
+
+let is_open t fd = Hashtbl.mem t.slots fd
+let count t = Hashtbl.length t.slots
+let iter t f = Hashtbl.iter f t.slots
+
+let fold t ~init ~f =
+  Hashtbl.fold (fun fd v acc -> f acc fd v) t.slots init

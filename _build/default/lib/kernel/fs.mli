@@ -1,0 +1,43 @@
+(** The static-content filesystem: a name space of documents backed by
+    a page cache and a simple disk model.
+
+    Costs follow the paper's server path: a [stat]/open pays the name
+    lookup (cheap when the dentry is cached); reading data pays a
+    per-page cache probe plus, on a miss, a disk access — which on the
+    paper's single 7200 RPM IDE disk stalls the (single-threaded)
+    server outright, so misses are charged as blocking time on the
+    host CPU. The benchmark's one 6 KB document always stays resident;
+    larger-than-cache document sets exercise eviction for the
+    document-size experiments. *)
+
+open Sio_sim
+
+type t
+
+val create :
+  host:Host.t ->
+  ?cache_pages:int ->
+  ?page_bytes:int ->
+  ?disk_access:Time.t ->
+  unit ->
+  t
+(** Defaults: 4096 pages of 4096 bytes (a 16 MB cache — a quarter of
+    the paper's 64 MB server), 9 ms per disk access (seek + rotation
+    on a 7200 RPM IDE disk). *)
+
+val add_file : t -> path:string -> bytes:int -> unit
+(** Creates or replaces a document. Replacement invalidates its cached
+    pages. Raises [Invalid_argument] on negative size. *)
+
+val file_count : t -> int
+
+val stat : t -> string -> (int, [ `Enoent ]) result
+(** Size lookup; charges the name-resolution cost. *)
+
+val read_file : t -> string -> (int, [ `Enoent ]) result
+(** Reads the whole document through the page cache, charging per-page
+    probes and disk stalls for misses; returns the byte count. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_resident_pages : t -> int

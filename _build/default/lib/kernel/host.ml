@@ -1,0 +1,49 @@
+open Sio_sim
+
+type counters = {
+  mutable syscalls : int;
+  mutable driver_polls : int;
+  mutable hint_skips : int;
+  mutable wait_queue_wakes : int;
+  mutable rt_enqueued : int;
+  mutable rt_dropped : int;
+  mutable rt_overflows : int;
+  mutable softirqs : int;
+  mutable accepts : int;
+  mutable connections_refused : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  costs : Cost_model.t;
+  wake_policy : Wait_queue.wake_policy;
+  counters : counters;
+  hints_by_default : bool;
+}
+
+let fresh_counters () =
+  {
+    syscalls = 0;
+    driver_polls = 0;
+    hint_skips = 0;
+    wait_queue_wakes = 0;
+    rt_enqueued = 0;
+    rt_dropped = 0;
+    rt_overflows = 0;
+    softirqs = 0;
+    accepts = 0;
+    connections_refused = 0;
+  }
+
+let create ~engine ?(costs = Cost_model.default)
+    ?(wake_policy = Wait_queue.Wake_all) ?(infinitely_fast = false)
+    ?(hints_by_default = true) () =
+  let cpu =
+    if infinitely_fast then Cpu.infinitely_fast ~engine else Cpu.create ~engine
+  in
+  { engine; cpu; costs; wake_policy; counters = fresh_counters (); hints_by_default }
+
+let now t = Engine.now t.engine
+let charge t cost = Cpu.consume t.cpu cost
+let charge_run t ~cost k = Cpu.run t.cpu ~cost k

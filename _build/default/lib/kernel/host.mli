@@ -1,0 +1,55 @@
+(** Per-host kernel context.
+
+    Bundles what every kernel subsystem on one machine shares: the
+    simulation engine, the host CPU, the cost model, the wait-queue
+    wake policy, and a set of operation counters that the tests and
+    ablation benches read (e.g. "how many driver poll callbacks did
+    this run perform with and without hints?"). *)
+
+open Sio_sim
+
+type counters = {
+  mutable syscalls : int;
+  mutable driver_polls : int;  (** device-driver poll callbacks issued *)
+  mutable hint_skips : int;
+      (** driver callbacks avoided thanks to a hint/cache *)
+  mutable wait_queue_wakes : int;
+  mutable rt_enqueued : int;
+  mutable rt_dropped : int;  (** RT signals lost to queue overflow *)
+  mutable rt_overflows : int;  (** SIGIO overflow notifications raised *)
+  mutable softirqs : int;
+  mutable accepts : int;
+  mutable connections_refused : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  costs : Cost_model.t;
+  wake_policy : Wait_queue.wake_policy;
+  counters : counters;
+  hints_by_default : bool;
+      (** whether freshly created sockets' drivers participate in
+          /dev/poll hinting; the hints ablation switches this off *)
+}
+
+val create :
+  engine:Engine.t ->
+  ?costs:Cost_model.t ->
+  ?wake_policy:Wait_queue.wake_policy ->
+  ?infinitely_fast:bool ->
+  ?hints_by_default:bool ->
+  unit ->
+  t
+(** Defaults: {!Cost_model.default}, [Wake_all] (Linux 2.2 behaviour),
+    finite CPU, hinting drivers. *)
+
+val now : t -> Time.t
+
+val charge : t -> Time.t -> Time.t
+(** Charges CPU work, returning its completion time. *)
+
+val charge_run : t -> cost:Time.t -> (unit -> unit) -> unit
+(** Charges CPU work and schedules the continuation at completion. *)
+
+val fresh_counters : unit -> counters

@@ -1,0 +1,81 @@
+type interest = {
+  fd : int;
+  mutable events : Pollmask.t;
+  mutable hint : Pollmask.t;
+  mutable cached : Pollmask.t option;
+}
+
+type t = { mutable buckets : interest list array; mutable count : int }
+
+let create ?(initial_buckets = 8) () =
+  if initial_buckets <= 0 then
+    invalid_arg "Interest_table.create: bucket count must be positive";
+  { buckets = Array.make initial_buckets []; count = 0 }
+
+let length t = t.count
+let bucket_count t = Array.length t.buckets
+
+(* Fibonacci hashing of the fd; good spread for sequential fds. *)
+let slot t fd = fd * 0x61c88647 land max_int mod Array.length t.buckets
+
+let find t fd =
+  let rec go = function
+    | [] -> None
+    | i :: rest -> if i.fd = fd then Some i else go rest
+  in
+  go t.buckets.(slot t fd)
+
+let resize_if_needed t =
+  if t.count >= 2 * Array.length t.buckets then begin
+    let old = t.buckets in
+    t.buckets <- Array.make (2 * Array.length old) [];
+    Array.iter
+      (fun chain ->
+        List.iter
+          (fun i ->
+            let s = slot t i.fd in
+            t.buckets.(s) <- i :: t.buckets.(s))
+          chain)
+      old
+  end
+
+let add_new t fd events =
+  let s = slot t fd in
+  t.buckets.(s) <- { fd; events; hint = Pollmask.empty; cached = None } :: t.buckets.(s);
+  t.count <- t.count + 1;
+  resize_if_needed t
+
+let set t ~fd ~events =
+  match find t fd with
+  | Some i ->
+      i.events <- events;
+      i.hint <- Pollmask.empty;
+      i.cached <- None;
+      `Modified
+  | None ->
+      add_new t fd events;
+      `Added
+
+let set_solaris t ~fd ~events =
+  match find t fd with
+  | Some i ->
+      i.events <- Pollmask.union i.events events;
+      `Modified
+  | None ->
+      add_new t fd events;
+      `Added
+
+let remove t fd =
+  let s = slot t fd in
+  let before = List.length t.buckets.(s) in
+  t.buckets.(s) <- List.filter (fun i -> i.fd <> fd) t.buckets.(s);
+  let removed = before - List.length t.buckets.(s) in
+  t.count <- t.count - removed;
+  removed > 0
+
+let iter t f = Array.iter (fun chain -> List.iter f chain) t.buckets
+
+let fold t ~init ~f =
+  Array.fold_left (fun acc chain -> List.fold_left f acc chain) init t.buckets
+
+let mean_bucket_occupancy t = float_of_int t.count /. float_of_int (Array.length t.buckets)

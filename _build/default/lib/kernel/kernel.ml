@@ -1,0 +1,167 @@
+open Sio_sim
+
+type read_result = Data of string * int | Eof | Eagain | Econnreset
+
+type 'a syscall_result = ('a, [ `Ebadf | `Emfile | `Eagain | `Einval ]) result
+
+let enter proc extra =
+  let host = Process.host proc in
+  let costs = host.Host.costs in
+  let counters = host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge host (Time.add costs.Cost_model.syscall_entry extra));
+  host
+
+let listen proc ~backlog =
+  if backlog <= 0 then Error `Einval
+  else begin
+    let host = enter proc Time.zero in
+    let sock = Socket.create_listening ~host ~backlog in
+    match Process.install_socket proc sock with
+    | Ok fd -> Ok fd
+    | Error `Emfile -> Error `Emfile
+  end
+
+let accept proc fd =
+  let host = enter proc Time.zero in
+  let costs = host.Host.costs in
+  match Process.lookup_socket proc fd with
+  | None -> Error `Ebadf
+  | Some listener -> (
+      match Socket.accept_pop listener with
+      | None -> Error `Eagain
+      | Some sock -> (
+          ignore (Host.charge host costs.Cost_model.accept_syscall);
+          host.Host.counters.Host.accepts <- host.Host.counters.Host.accepts + 1;
+          match Process.install_socket proc sock with
+          | Ok newfd -> Ok (newfd, sock)
+          | Error `Emfile ->
+              (* Out of descriptors: the connection is dropped. *)
+              Socket.reset sock;
+              Error `Emfile))
+
+let read proc fd =
+  let host = enter proc Time.zero in
+  let costs = host.Host.costs in
+  ignore (Host.charge host costs.Cost_model.read_syscall);
+  match Process.lookup_socket proc fd with
+  | None -> Error `Ebadf
+  | Some sock -> (
+      match Socket.state sock with
+      | Socket.Reset -> Ok Econnreset
+      | Socket.Closed -> Error `Ebadf
+      | Socket.Listening -> Error `Einval
+      | Socket.Established | Socket.Peer_closed ->
+          let bytes, text = Socket.read_all sock in
+          if bytes > 0 then begin
+            ignore (Host.charge host (Cost_model.copy_cost costs ~bytes_len:bytes));
+            Ok (Data (text, bytes))
+          end
+          else if Socket.state sock = Socket.Peer_closed then Ok Eof
+          else Ok Eagain)
+
+let write proc fd ~bytes_len =
+  if bytes_len < 0 then Error `Einval
+  else begin
+    let host = enter proc Time.zero in
+    let costs = host.Host.costs in
+    ignore (Host.charge host costs.Cost_model.write_syscall);
+    match Process.lookup_socket proc fd with
+    | None -> Error `Ebadf
+    | Some sock ->
+        let accepted = Socket.write_reserve sock bytes_len in
+        if accepted > 0 then begin
+          ignore (Host.charge host (Cost_model.copy_cost costs ~bytes_len:accepted));
+          Socket.transport_send sock accepted
+        end;
+        Ok accepted
+  end
+
+let sendfile proc fd ~bytes_len =
+  if bytes_len < 0 then Error `Einval
+  else begin
+    let host = enter proc Time.zero in
+    let costs = host.Host.costs in
+    ignore (Host.charge host costs.Cost_model.write_syscall);
+    match Process.lookup_socket proc fd with
+    | None -> Error `Ebadf
+    | Some sock ->
+        let accepted = Socket.write_reserve sock bytes_len in
+        if accepted > 0 then begin
+          ignore (Host.charge host (Cost_model.sendfile_cost costs ~bytes_len:accepted));
+          Socket.transport_send sock accepted
+        end;
+        Ok accepted
+  end
+
+let close proc fd =
+  let host = enter proc Time.zero in
+  let costs = host.Host.costs in
+  match Fd_table.close (Process.fds proc) fd with
+  | None -> Error `Ebadf
+  | Some (Process.Sock sock) ->
+      ignore (Host.charge host costs.Cost_model.close_syscall);
+      Socket.close sock;
+      Ok ()
+  | Some (Process.Dev dev) ->
+      ignore (Host.charge host costs.Cost_model.close_syscall);
+      Devpoll.close dev;
+      Ok ()
+
+let fcntl_setsig proc fd ~signo =
+  match Process.lookup_socket proc fd with
+  | None -> Error `Ebadf
+  | Some sock ->
+      Rt_signal.set_signal (Process.rt_queue proc) ~socket:sock ~fd ~signo;
+      Ok ()
+
+let fcntl_clearsig proc fd =
+  match Process.lookup_socket proc fd with
+  | None -> Error `Ebadf
+  | Some sock ->
+      Rt_signal.clear_signal (Process.rt_queue proc) ~socket:sock ~fd;
+      Ok ()
+
+let poll proc ~interests ~timeout ~k =
+  Poll.wait ~host:(Process.host proc)
+    ~lookup:(Process.lookup_socket proc)
+    ~interests ~timeout ~k
+
+let devpoll_open proc =
+  let host = enter proc Time.zero in
+  let dev = Devpoll.create ~host ~lookup:(Process.lookup_socket proc) in
+  match Fd_table.alloc (Process.fds proc) (Process.Dev dev) with
+  | Ok fd -> Ok fd
+  | Error `Emfile -> Error `Emfile
+
+let devpoll_write proc fd entries =
+  match Process.lookup_devpoll proc fd with
+  | None -> Error `Ebadf
+  | Some dev ->
+      Devpoll.write dev entries;
+      Ok ()
+
+let devpoll_alloc_map proc fd ~slots =
+  match Process.lookup_devpoll proc fd with
+  | None -> Error `Ebadf
+  | Some dev ->
+      Devpoll.alloc_result_map dev ~slots;
+      Ok ()
+
+let devpoll_wait proc fd ~max_results ~timeout ~k =
+  match Process.lookup_devpoll proc fd with
+  | None -> Error `Ebadf
+  | Some dev ->
+      Devpoll.dp_poll dev ~max_results ~timeout ~k;
+      Ok ()
+
+let sigwaitinfo proc ~k = Rt_signal.sigwaitinfo (Process.rt_queue proc) ~k
+
+let sigtimedwait4 proc ~max ~timeout ~k =
+  Rt_signal.sigtimedwait4 (Process.rt_queue proc) ~max ~timeout ~k
+
+let flush_signals proc = Rt_signal.flush (Process.rt_queue proc)
+
+let compute proc cost = ignore (Host.charge (Process.host proc) cost)
+
+let yield proc k = Host.charge_run (Process.host proc) ~cost:Time.zero k

@@ -1,0 +1,80 @@
+type key = { file_id : int; page : int }
+
+(* Doubly linked LRU list over nodes indexed by a hash table. *)
+type node = {
+  key : key;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity_pages =
+  if capacity_pages <= 0 then invalid_arg "Page_cache.create: capacity must be positive";
+  { capacity = capacity_pages; table = Hashtbl.create 256; head = None; tail = None;
+    hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+let resident t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key
+
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      unlink t node;
+      push_front t node;
+      `Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let node = { key; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      `Miss
+
+let contains t key = Hashtbl.mem t.table key
+let hits t = t.hits
+let misses t = t.misses
+
+let invalidate_file t ~file_id =
+  let victims =
+    Hashtbl.fold
+      (fun key node acc -> if key.file_id = file_id then (key, node) :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun (key, node) ->
+      unlink t node;
+      Hashtbl.remove t.table key)
+    victims;
+  List.length victims

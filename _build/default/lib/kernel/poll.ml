@@ -1,0 +1,92 @@
+open Sio_sim
+
+type result = { fd : int; revents : Pollmask.t }
+
+(* Bits always reported regardless of subscription. *)
+let forced = Pollmask.union Pollmask.pollerr (Pollmask.union Pollmask.pollhup Pollmask.pollnval)
+
+let scan_cost ~host ~n_interests =
+  let costs = host.Host.costs in
+  Time.mul
+    (Time.add costs.Cost_model.poll_copyin_per_fd costs.Cost_model.driver_poll_callback)
+    n_interests
+
+(* One pass over the interest list, asking each driver for status.
+   The driver-callback cost is charged inside [Socket.driver_poll];
+   missing descriptors only cost the copy-in. *)
+let scan ~host ~lookup ~interests =
+  let costs = host.Host.costs in
+  List.filter_map
+    (fun (fd, events) ->
+      ignore (Host.charge host costs.Cost_model.poll_copyin_per_fd);
+      let revents =
+        match lookup fd with
+        | None -> Pollmask.pollnval
+        | Some sock ->
+            Pollmask.inter (Socket.driver_poll sock) (Pollmask.union events forced)
+      in
+      if Pollmask.is_empty revents then None else Some { fd; revents })
+    interests
+
+let wait ~host ~lookup ~interests ~timeout ~k =
+  let costs = host.Host.costs in
+  let counters = host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge host costs.Cost_model.syscall_entry);
+  let finish results =
+    ignore
+      (Host.charge host
+         (Time.mul costs.Cost_model.poll_copyout_per_ready (List.length results)));
+    Host.charge_run host ~cost:Time.zero (fun () -> k results)
+  in
+  let first = scan ~host ~lookup ~interests in
+  if first <> [] then finish first
+  else
+    match timeout with
+    | Some t when t <= Time.zero -> finish []
+    | _ ->
+        (* Sleep: register on every socket's wait queue. *)
+        let sockets = List.filter_map (fun (fd, _) -> lookup fd) interests in
+        let n = List.length interests in
+        ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+        let timer = ref None in
+        let waiter_ref = ref None in
+        let cleanup () =
+          (match !waiter_ref with
+          | Some w -> List.iter (fun s -> ignore (Socket.unregister_waiter s w)) sockets
+          | None -> ());
+          ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_unregister n));
+          match !timer with
+          | Some h ->
+              Engine.cancel host.Host.engine h;
+              timer := None
+          | None -> ()
+        in
+        let rec on_wake _mask =
+          cleanup ();
+          (* Wakeup rescans the whole set, as Linux 2.2 does. *)
+          let results = scan ~host ~lookup ~interests in
+          if results <> [] then finish results
+          else begin
+            (* Spurious wakeup (event consumed elsewhere): sleep again. *)
+            let w = { Socket.wake = on_wake } in
+            waiter_ref := Some w;
+            List.iter (fun s -> Socket.register_waiter s w) sockets;
+            ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+            arm_timer ()
+          end
+        and arm_timer () =
+          match timeout with
+          | None -> ()
+          | Some t ->
+              timer :=
+                Some
+                  (Engine.after host.Host.engine t (fun () ->
+                       timer := None;
+                       cleanup ();
+                       finish []))
+        in
+        let w = { Socket.wake = on_wake } in
+        waiter_ref := Some w;
+        List.iter (fun s -> Socket.register_waiter s w) sockets;
+        arm_timer ()

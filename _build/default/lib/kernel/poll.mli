@@ -1,0 +1,32 @@
+(** Classic poll() semantics with the classic costs.
+
+    Every invocation pays for what the paper's Section 3 criticizes:
+    the whole interest set is copied into the kernel (per-fd copy-in
+    cost), every descriptor's device driver is asked for its status
+    (per-fd driver callback), the process registers on every wait
+    queue before sleeping, and on wakeup the entire set is scanned
+    again. Results are copied back per ready descriptor. *)
+
+open Sio_sim
+
+type result = { fd : int; revents : Pollmask.t }
+
+val wait :
+  host:Host.t ->
+  lookup:(int -> Socket.t option) ->
+  interests:(int * Pollmask.t) list ->
+  timeout:Time.t option ->
+  k:(result list -> unit) ->
+  unit
+(** [wait ~host ~lookup ~interests ~timeout ~k] performs one poll()
+    call. [lookup] resolves an fd to its socket ([None] yields
+    POLLNVAL in the results, like a closed descriptor). [timeout]:
+    [Some 0] never sleeps; [None] sleeps forever. [k] receives the
+    descriptors with non-empty [revents], in interest order, at the
+    simulated time the syscall returns. Error and hangup conditions
+    are always reported, whether or not subscribed, per POSIX. *)
+
+val scan_cost : host:Host.t -> n_interests:int -> Time.t
+(** The deterministic CPU cost of one scan pass over [n] interests
+    (copy-in plus driver callbacks), exposed for the cost-model
+    tests. *)

@@ -1,0 +1,173 @@
+open Sio_sim
+
+type siginfo = { signo : int; fd : int; band : Pollmask.t }
+type delivery = Signal of siginfo | Overflow
+
+let sigrtmin = 32
+
+type entry = { info : siginfo; seq : int }
+
+type queue = {
+  host : Host.t;
+  limit : int;
+  heap : entry Heap.t; (* min by (signo, seq): POSIX delivery order *)
+  mutable next_seq : int;
+  mutable sigio : bool;
+  bindings : (int, Socket.t * int) Hashtbl.t; (* fd -> (socket, observer token) *)
+  waiters : (delivery list -> unit) Queue.t; (* blocked sigwait callers *)
+  mutable waiter_max : int Queue.t; (* parallel queue of batch sizes *)
+}
+
+let entry_leq a b =
+  a.info.signo < b.info.signo || (a.info.signo = b.info.signo && a.seq <= b.seq)
+
+let create_queue ~host ?(limit = 1024) () =
+  if limit <= 0 then invalid_arg "Rt_signal.create_queue: limit must be positive";
+  {
+    host;
+    limit;
+    heap = Heap.create ~leq:entry_leq ();
+    next_seq = 0;
+    sigio = false;
+    bindings = Hashtbl.create 64;
+    waiters = Queue.create ();
+    waiter_max = Queue.create ();
+  }
+
+let pending q = Heap.length q.heap
+let sigio_pending q = q.sigio
+let limit q = q.limit
+
+(* Dequeue up to [max] deliveries; assumes something is available. *)
+let take q max =
+  let costs = q.host.Host.costs in
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else if q.sigio then begin
+      (* SIGIO is a classic signal: numerically below SIGRTMIN, so it
+         is delivered before any queued RT signal. *)
+      q.sigio <- false;
+      ignore (Host.charge q.host costs.Cost_model.rt_dequeue);
+      go (Overflow :: acc) (n - 1)
+    end
+    else
+      match Heap.pop q.heap with
+      | Some e ->
+          ignore (Host.charge q.host costs.Cost_model.rt_dequeue);
+          go (Signal e.info :: acc) (n - 1)
+      | None -> List.rev acc
+  in
+  go [] max
+
+let service_waiters q =
+  while
+    (not (Queue.is_empty q.waiters)) && (q.sigio || not (Heap.is_empty q.heap))
+  do
+    let k = Queue.take q.waiters in
+    let max = Queue.take q.waiter_max in
+    let ds = take q max in
+    Host.charge_run q.host ~cost:Time.zero (fun () -> k ds)
+  done
+
+let enqueue q info =
+  let costs = q.host.Host.costs in
+  let counters = q.host.Host.counters in
+  if Heap.length q.heap >= q.limit then begin
+    (* Queue exhausted: drop the signal; raise SIGIO once. *)
+    counters.Host.rt_dropped <- counters.Host.rt_dropped + 1;
+    if not q.sigio then begin
+      q.sigio <- true;
+      counters.Host.rt_overflows <- counters.Host.rt_overflows + 1
+    end
+  end
+  else begin
+    counters.Host.rt_enqueued <- counters.Host.rt_enqueued + 1;
+    ignore (Host.charge q.host costs.Cost_model.rt_enqueue);
+    Heap.push q.heap { info; seq = q.next_seq };
+    q.next_seq <- q.next_seq + 1
+  end;
+  service_waiters q
+
+let set_signal q ~socket ~fd ~signo =
+  if signo < sigrtmin then invalid_arg "Rt_signal.set_signal: signo below SIGRTMIN";
+  let costs = q.host.Host.costs in
+  let counters = q.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge q.host costs.Cost_model.syscall_entry);
+  ignore (Host.charge q.host costs.Cost_model.fcntl_call);
+  (match Hashtbl.find_opt q.bindings fd with
+  | Some (old_sock, token) ->
+      Socket.unsubscribe old_sock token;
+      Hashtbl.remove q.bindings fd
+  | None -> ());
+  let token =
+    Socket.subscribe socket (fun mask -> enqueue q { signo; fd; band = mask })
+  in
+  Hashtbl.replace q.bindings fd (socket, token)
+
+let clear_signal q ~socket ~fd =
+  let costs = q.host.Host.costs in
+  let counters = q.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge q.host costs.Cost_model.syscall_entry);
+  ignore (Host.charge q.host costs.Cost_model.fcntl_call);
+  match Hashtbl.find_opt q.bindings fd with
+  | Some (bound_sock, token) when bound_sock == socket ->
+      Socket.unsubscribe bound_sock token;
+      Hashtbl.remove q.bindings fd
+  | Some _ | None -> ()
+
+let wait_general q ~max ~timeout ~k =
+  let costs = q.host.Host.costs in
+  let counters = q.host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge q.host costs.Cost_model.syscall_entry);
+  ignore (Host.charge q.host costs.Cost_model.sigwait_call);
+  if q.sigio || not (Heap.is_empty q.heap) then begin
+    let ds = take q max in
+    Host.charge_run q.host ~cost:Time.zero (fun () -> k ds)
+  end
+  else
+    match timeout with
+    | Some t when t <= Time.zero -> Host.charge_run q.host ~cost:Time.zero (fun () -> k [])
+    | _ ->
+        Queue.add k q.waiters;
+        Queue.add max q.waiter_max;
+        (match timeout with
+        | None -> ()
+        | Some t ->
+            ignore
+              (Engine.after q.host.Host.engine t (fun () ->
+                   (* If still waiting, deliver an empty result. This
+                      linear removal only runs on timeouts, which are
+                      rare in every workload we model. *)
+                   let still_waiting = ref false in
+                   let ks = Queue.to_seq q.waiters |> List.of_seq in
+                   let ms = Queue.to_seq q.waiter_max |> List.of_seq in
+                   Queue.clear q.waiters;
+                   Queue.clear q.waiter_max;
+                   List.iter2
+                     (fun k' m ->
+                       if k' == k then still_waiting := true
+                       else begin
+                         Queue.add k' q.waiters;
+                         Queue.add m q.waiter_max
+                       end)
+                     ks ms;
+                   if !still_waiting then k [])))
+
+let sigwaitinfo q ~k =
+  wait_general q ~max:1 ~timeout:None ~k:(fun ds ->
+      match ds with
+      | [ d ] -> k d
+      | [] | _ :: _ :: _ -> assert false)
+
+let sigtimedwait4 q ~max ~timeout ~k =
+  if max <= 0 then invalid_arg "Rt_signal.sigtimedwait4: max must be positive";
+  wait_general q ~max ~timeout ~k
+
+let flush q =
+  let dropped = Heap.length q.heap in
+  Heap.clear q.heap;
+  q.sigio <- false;
+  dropped

@@ -1,0 +1,120 @@
+open Sio_sim
+
+type result = { readable : Fd_set.t; writable : Fd_set.t; except : Fd_set.t }
+
+(* select copies three bitmaps in and out and walks descriptors
+   0..nfds-1 regardless of membership; we charge the bitmap walk at a
+   third of the pollfd copy cost per fd (three dense bits vs an 8-byte
+   struct) plus the driver callback for members. *)
+let scan_cost ~host ~nfds =
+  let costs = host.Host.costs in
+  Time.mul (Time.div costs.Cost_model.poll_copyin_per_fd 3) nfds
+
+let scan ~host ~lookup ~read ~write ~except =
+  let costs = host.Host.costs in
+  let nfds =
+    1 + Stdlib.max (Fd_set.max_fd read) (Stdlib.max (Fd_set.max_fd write) (Fd_set.max_fd except))
+  in
+  ignore (Host.charge host (scan_cost ~host ~nfds));
+  let r = Fd_set.create () and w = Fd_set.create () and e = Fd_set.create () in
+  let ready = ref 0 in
+  let consult fd =
+    match lookup fd with
+    | None ->
+        (* Bad descriptor: report as exceptional condition. *)
+        if Fd_set.mem except fd || Fd_set.mem read fd || Fd_set.mem write fd then begin
+          Fd_set.set e fd;
+          incr ready
+        end;
+        Pollmask.empty
+    | Some sock -> Socket.driver_poll sock
+  in
+  ignore costs;
+  for fd = 0 to nfds - 1 do
+    if Fd_set.mem read fd || Fd_set.mem write fd || Fd_set.mem except fd then begin
+      let st = consult fd in
+      if
+        Fd_set.mem read fd
+        && Pollmask.intersects st
+             (Pollmask.union Pollmask.readable Pollmask.pollhup)
+      then begin
+        Fd_set.set r fd;
+        incr ready
+      end;
+      if Fd_set.mem write fd && Pollmask.intersects st Pollmask.pollout then begin
+        Fd_set.set w fd;
+        incr ready
+      end;
+      if
+        Fd_set.mem except fd
+        && Pollmask.intersects st (Pollmask.union Pollmask.pollerr Pollmask.pollpri)
+      then begin
+        Fd_set.set e fd;
+        incr ready
+      end
+    end
+  done;
+  ({ readable = r; writable = w; except = e }, !ready)
+
+let select ~host ~lookup ~read ~write ~except ~timeout ~k =
+  let costs = host.Host.costs in
+  let counters = host.Host.counters in
+  counters.Host.syscalls <- counters.Host.syscalls + 1;
+  ignore (Host.charge host costs.Cost_model.syscall_entry);
+  let finish result = Host.charge_run host ~cost:Time.zero (fun () -> k result) in
+  let members () =
+    let fds = ref [] in
+    Fd_set.iter read (fun fd -> fds := fd :: !fds);
+    Fd_set.iter write (fun fd -> if not (List.mem fd !fds) then fds := fd :: !fds);
+    Fd_set.iter except (fun fd -> if not (List.mem fd !fds) then fds := fd :: !fds);
+    List.filter_map lookup !fds
+  in
+  let first, ready = scan ~host ~lookup ~read ~write ~except in
+  if ready > 0 then finish first
+  else
+    match timeout with
+    | Some t when t <= Time.zero -> finish first
+    | _ ->
+        let sockets = members () in
+        let n = List.length sockets in
+        ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+        let timer = ref None in
+        let waiter_ref = ref None in
+        let cleanup () =
+          (match !waiter_ref with
+          | Some wtr -> List.iter (fun s -> ignore (Socket.unregister_waiter s wtr)) sockets
+          | None -> ());
+          ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_unregister n));
+          match !timer with
+          | Some h ->
+              Engine.cancel host.Host.engine h;
+              timer := None
+          | None -> ()
+        in
+        let rec on_wake _mask =
+          cleanup ();
+          let result, ready = scan ~host ~lookup ~read ~write ~except in
+          if ready > 0 then finish result
+          else begin
+            let wtr = { Socket.wake = on_wake } in
+            waiter_ref := Some wtr;
+            List.iter (fun s -> Socket.register_waiter s wtr) sockets;
+            ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+            arm_timer ()
+          end
+        and arm_timer () =
+          match timeout with
+          | None -> ()
+          | Some t ->
+              timer :=
+                Some
+                  (Engine.after host.Host.engine t (fun () ->
+                       timer := None;
+                       cleanup ();
+                       let result, _ = scan ~host ~lookup ~read ~write ~except in
+                       finish result))
+        in
+        let wtr = { Socket.wake = on_wake } in
+        waiter_ref := Some wtr;
+        List.iter (fun s -> Socket.register_waiter s wtr) sockets;
+        arm_timer ()

@@ -1,0 +1,31 @@
+(** select(2), the oldest of the interfaces in the paper's lineage.
+
+    Semantically equivalent to {!Poll.wait} over read/write/except
+    sets, but with select's own pathologies: the kernel scans every
+    descriptor from 0 to [nfds - 1] whether or not it is in a set
+    (charging the per-fd copy for the three bitmaps), and nothing
+    above {!Fd_set.fd_setsize} can be watched at all — the 1024-fd
+    wall the paper's httperf had to be modified around. Provided so
+    the benches can show the full select → poll → /dev/poll
+    progression. *)
+
+open Sio_sim
+
+type result = { readable : Fd_set.t; writable : Fd_set.t; except : Fd_set.t }
+
+val select :
+  host:Host.t ->
+  lookup:(int -> Socket.t option) ->
+  read:Fd_set.t ->
+  write:Fd_set.t ->
+  except:Fd_set.t ->
+  timeout:Time.t option ->
+  k:(result -> unit) ->
+  unit
+(** Pass {!Fd_set.create}[ ()] for sets you do not care about. The result sets contain the
+    ready descriptors (select's destructive-update semantics, returned
+    functionally). Closed descriptors are reported in [except], the
+    closest select analogue of POLLNVAL. *)
+
+val scan_cost : host:Host.t -> nfds:int -> Time.t
+(** Deterministic cost of one select scan with [nfds = max_fd + 1]. *)

@@ -1,0 +1,29 @@
+type t = { capacity : int; mutable level : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Sock_buf.create: capacity must be positive";
+  { capacity; level = 0 }
+
+let capacity t = t.capacity
+let level t = t.level
+let space t = t.capacity - t.level
+
+let push t n =
+  if n < 0 then invalid_arg "Sock_buf.push: negative size";
+  let accepted = Stdlib.min n (space t) in
+  t.level <- t.level + accepted;
+  accepted
+
+let drain t n =
+  if n < 0 then invalid_arg "Sock_buf.drain: negative size";
+  let removed = Stdlib.min n t.level in
+  t.level <- t.level - removed;
+  removed
+
+let drain_all t =
+  let n = t.level in
+  t.level <- 0;
+  n
+
+let is_empty t = t.level = 0
+let is_full t = t.level >= t.capacity

@@ -1,0 +1,28 @@
+(** Byte-counted socket buffer.
+
+    The simulation moves message *sizes*, not payload bytes, through
+    socket buffers; actual request text rides alongside in the socket
+    object. A buffer has a capacity and answers the two questions
+    event notification cares about: is there anything to read, and is
+    there room to write. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if capacity is not positive. *)
+
+val capacity : t -> int
+val level : t -> int
+val space : t -> int
+
+val push : t -> int -> int
+(** [push b n] inserts as much of [n] bytes as fits; returns the
+    number accepted. Raises [Invalid_argument] on negative [n]. *)
+
+val drain : t -> int -> int
+(** [drain b n] removes up to [n] bytes; returns the number removed. *)
+
+val drain_all : t -> int
+
+val is_empty : t -> bool
+val is_full : t -> bool

@@ -1,0 +1,207 @@
+
+type state = Listening | Established | Peer_closed | Reset | Closed
+
+type t = {
+  host : Host.t;
+  id : int;
+  backlog : int;
+  mutable state : state;
+  rcv : Sock_buf.t;
+  snd : Sock_buf.t;
+  accept_queue : t Queue.t;
+  wait_queue : waiter Wait_queue.t;
+  mutable observers : (int * (Pollmask.t -> unit)) list;
+  mutable next_observer : int;
+  mutable hints_supported : bool;
+  mutable payload : Buffer.t;
+  mutable on_send : int -> unit;
+  mutable on_close : unit -> unit;
+}
+
+and waiter = { wake : Pollmask.t -> unit }
+
+let next_id = ref 0
+
+let make ~host ~backlog state =
+  incr next_id;
+  {
+    host;
+    id = !next_id;
+    backlog;
+    state;
+    rcv = Sock_buf.create ~capacity:65536;
+    snd = Sock_buf.create ~capacity:65536;
+    accept_queue = Queue.create ();
+    wait_queue = Wait_queue.create ();
+    observers = [];
+    next_observer = 0;
+    hints_supported = host.Host.hints_by_default;
+    payload = Buffer.create 64;
+    on_send = (fun _ -> ());
+    on_close = (fun () -> ());
+  }
+
+let create_listening ~host ~backlog =
+  if backlog <= 0 then invalid_arg "Socket.create_listening: backlog must be positive";
+  make ~host ~backlog Listening
+
+let create_established ~host = make ~host ~backlog:0 Established
+
+let id t = t.id
+let state t = t.state
+let host t = t.host
+let hints_supported t = t.hints_supported
+let set_hints_supported t v = t.hints_supported <- v
+
+let status t =
+  let open Pollmask in
+  match t.state with
+  | Listening -> if Queue.is_empty t.accept_queue then empty else pollin
+  | Established ->
+      let r = if Sock_buf.is_empty t.rcv then empty else pollin in
+      let w = if Sock_buf.space t.snd > 0 then pollout else empty in
+      union r w
+  | Peer_closed ->
+      (* Readable: either buffered bytes or EOF. Half-close still
+         allows writing. *)
+      let w = if Sock_buf.space t.snd > 0 then pollout else empty in
+      union (union pollin pollhup) w
+  | Reset -> union Pollmask.pollerr Pollmask.pollhup
+  | Closed -> pollnval
+
+let driver_poll t =
+  let c = t.host.Host.counters in
+  c.Host.driver_polls <- c.Host.driver_polls + 1;
+  ignore (Host.charge t.host t.host.Host.costs.Cost_model.driver_poll_callback);
+  status t
+
+let register_waiter t w = Wait_queue.register t.wait_queue w
+let unregister_waiter t w = Wait_queue.unregister t.wait_queue w
+
+let subscribe t f =
+  let token = t.next_observer in
+  t.next_observer <- token + 1;
+  t.observers <- (token, f) :: t.observers;
+  token
+
+let unsubscribe t token =
+  t.observers <- List.filter (fun (tok, _) -> tok <> token) t.observers
+
+let waiter_count t = Wait_queue.length t.wait_queue
+let observer_count t = List.length t.observers
+
+(* Post a readiness edge: wake classic-poll sleepers (charging wake
+   cost per task) and notify observers (charging the backmap read lock
+   when the driver participates in hinting). *)
+let post t mask =
+  let costs = t.host.Host.costs in
+  let counters = t.host.Host.counters in
+  let woken =
+    Wait_queue.wake t.wait_queue ~policy:t.host.Host.wake_policy (fun w ->
+        counters.Host.wait_queue_wakes <- counters.Host.wait_queue_wakes + 1;
+        ignore (Host.charge t.host costs.Cost_model.wait_queue_wake);
+        w.wake mask)
+  in
+  ignore woken;
+  match t.observers with
+  | [] -> ()
+  | observers ->
+      if t.hints_supported then
+        ignore (Host.charge t.host costs.Cost_model.backmap_read_lock);
+      List.iter (fun (_, f) -> f mask) observers
+
+let deliver t ~bytes_len ~payload =
+  match t.state with
+  | Established | Peer_closed ->
+      let costs = t.host.Host.costs in
+      let counters = t.host.Host.counters in
+      counters.Host.softirqs <- counters.Host.softirqs + 1;
+      ignore (Host.charge t.host costs.Cost_model.softirq_per_packet);
+      let was_empty = Sock_buf.is_empty t.rcv in
+      let accepted = Sock_buf.push t.rcv bytes_len in
+      if String.length payload > 0 then Buffer.add_string t.payload payload;
+      if accepted > 0 && was_empty then post t Pollmask.pollin;
+      accepted
+  | Listening | Reset | Closed -> 0
+
+let enqueue_accept t peer =
+  match t.state with
+  | Listening ->
+      if Queue.length t.accept_queue >= t.backlog then begin
+        let counters = t.host.Host.counters in
+        counters.Host.connections_refused <- counters.Host.connections_refused + 1;
+        false
+      end
+      else begin
+        let was_empty = Queue.is_empty t.accept_queue in
+        Queue.add peer t.accept_queue;
+        if was_empty then post t Pollmask.pollin;
+        true
+      end
+  | Established | Peer_closed | Reset | Closed -> false
+
+let peer_closed t =
+  match t.state with
+  | Established ->
+      t.state <- Peer_closed;
+      post t (Pollmask.union Pollmask.pollin Pollmask.pollhup)
+  | Listening | Peer_closed | Reset | Closed -> ()
+
+let reset t =
+  match t.state with
+  | Established | Peer_closed | Listening ->
+      t.state <- Reset;
+      post t Pollmask.pollerr
+  | Reset | Closed -> ()
+
+let release_send_space t n =
+  if n > 0 then begin
+    let was_full = Sock_buf.space t.snd = 0 in
+    let _ = Sock_buf.drain t.snd n in
+    match t.state with
+    | Established | Peer_closed -> if was_full then post t Pollmask.pollout
+    | Listening | Reset | Closed -> ()
+  end
+
+let set_transport t ~on_send ~on_close =
+  t.on_send <- on_send;
+  t.on_close <- on_close
+
+let transport_send t n = t.on_send n
+
+let read_all t =
+  let bytes = Sock_buf.drain_all t.rcv in
+  let text = Buffer.contents t.payload in
+  Buffer.clear t.payload;
+  (bytes, text)
+
+let write_reserve t n =
+  match t.state with
+  | Established | Peer_closed -> Sock_buf.push t.snd n
+  | Listening | Reset | Closed -> 0
+
+let accept_pop t =
+  match t.state with
+  | Listening -> Queue.take_opt t.accept_queue
+  | Established | Peer_closed | Reset | Closed -> None
+
+let accept_queue_length t = Queue.length t.accept_queue
+
+let close t =
+  match t.state with
+  | Closed -> ()
+  | Listening | Established | Peer_closed | Reset ->
+      t.state <- Closed;
+      let _ = Sock_buf.drain_all t.rcv in
+      let _ = Sock_buf.drain_all t.snd in
+      Buffer.clear t.payload;
+      Queue.clear t.accept_queue;
+      post t Pollmask.pollnval;
+      t.on_close ()
+
+let pp_state ppf = function
+  | Listening -> Fmt.string ppf "LISTENING"
+  | Established -> Fmt.string ppf "ESTABLISHED"
+  | Peer_closed -> Fmt.string ppf "PEER_CLOSED"
+  | Reset -> Fmt.string ppf "RESET"
+  | Closed -> Fmt.string ppf "CLOSED"

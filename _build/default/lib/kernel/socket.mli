@@ -1,0 +1,121 @@
+(** Simulated TCP sockets.
+
+    A socket is the object the three event-notification mechanisms of
+    the paper observe. Status changes (bytes arriving, a connection
+    entering the accept queue, a peer FIN or RST, send-buffer space
+    opening up) are posted as edges; each edge wakes the socket's wait
+    queue (classic poll sleepers) and notifies registered observers
+    (the /dev/poll backmap hint path and the RT-signal path register
+    themselves here).
+
+    Payload strings ride alongside byte counts so the HTTP layer can
+    parse real request text while buffer occupancy stays a cheap
+    integer. *)
+
+
+type state =
+  | Listening
+  | Established
+  | Peer_closed  (** peer sent FIN; reads return EOF after the buffer drains *)
+  | Reset  (** connection error; reads/writes fail *)
+  | Closed  (** this endpoint closed the socket *)
+
+type t
+
+type waiter = { wake : Pollmask.t -> unit }
+(** A sleeping task registered on the socket's wait queue. Identity is
+    physical: the same record must be passed to unregister. *)
+
+val create_listening : host:Host.t -> backlog:int -> t
+val create_established : host:Host.t -> t
+
+val id : t -> int
+(** Unique per-process-lifetime socket id (not the fd). *)
+
+val state : t -> state
+val host : t -> Host.t
+
+val hints_supported : t -> bool
+val set_hints_supported : t -> bool -> unit
+(** Whether this socket's device driver participates in the /dev/poll
+    hinting scheme (the paper lets drivers opt in so only network
+    drivers need modification). Default true. *)
+
+(** {1 Readiness} *)
+
+val status : t -> Pollmask.t
+(** Current readiness, computed for free — used internally and by
+    tests. Kernel paths that model the expense of asking the driver
+    must use {!driver_poll}. *)
+
+val driver_poll : t -> Pollmask.t
+(** Same answer as {!status} but charges the driver-callback cost and
+    bumps the host's [driver_polls] counter. *)
+
+(** {1 Wait queue and observers} *)
+
+val register_waiter : t -> waiter -> unit
+val unregister_waiter : t -> waiter -> bool
+
+val subscribe : t -> (Pollmask.t -> unit) -> int
+(** [subscribe s f] registers [f] to be called on each posted edge
+    with the edge's event bits; returns a token for {!unsubscribe}.
+    Observers model the backmapping list: posting to them charges the
+    backmap read-lock cost when hints are supported. *)
+
+val unsubscribe : t -> int -> unit
+
+val waiter_count : t -> int
+val observer_count : t -> int
+
+(** {1 Network-facing operations} (called by the TCP layer) *)
+
+val deliver : t -> bytes_len:int -> payload:string -> int
+(** Bytes arriving from the wire: fills the receive buffer (returns
+    bytes accepted), appends payload text, charges softirq cost, posts
+    POLLIN. *)
+
+val enqueue_accept : t -> t -> bool
+(** [enqueue_accept listener peer] adds an established socket to the
+    listener's accept queue; false (refused) when the backlog is
+    full. Posts POLLIN on success. *)
+
+val peer_closed : t -> unit
+(** FIN from the peer: posts POLLIN|POLLHUP. *)
+
+val reset : t -> unit
+(** RST: posts POLLERR. *)
+
+val release_send_space : t -> int -> unit
+(** The wire consumed [n] bytes of the send buffer; posts POLLOUT when
+    space reappears from a full buffer. *)
+
+(** {1 Transport hooks} (installed by the TCP layer) *)
+
+val set_transport : t -> on_send:(int -> unit) -> on_close:(unit -> unit) -> unit
+(** [on_send n] is invoked when the application commits [n] bytes to
+    the send buffer (the TCP layer then puts them on the wire and
+    later calls {!release_send_space}); [on_close] when the
+    application closes the socket (the TCP layer emits the FIN). *)
+
+val transport_send : t -> int -> unit
+(** Invokes the [on_send] hook; used by the syscall layer. *)
+
+(** {1 Application-facing operations} (called by the syscall layer) *)
+
+val read_all : t -> int * string
+(** Drains the receive buffer: (bytes, accumulated payload). On a
+    [Peer_closed] socket with an empty buffer this is [(0, "")] — EOF. *)
+
+val write_reserve : t -> int -> int
+(** Claims send-buffer space; returns bytes accepted (0 when full or
+    not writable). *)
+
+val accept_pop : t -> t option
+val accept_queue_length : t -> int
+
+val close : t -> unit
+(** Marks [Closed], empties buffers, and posts POLLNVAL so sleepers
+    re-evaluate. *)
+
+val pp_state : Format.formatter -> state -> unit

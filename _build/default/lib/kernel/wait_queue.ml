@@ -1,0 +1,38 @@
+type 'w t = { mutable waiters : 'w list (* newest first *) }
+
+type wake_policy = Wake_all | Wake_one
+
+let create () = { waiters = [] }
+
+let register q w = q.waiters <- w :: q.waiters
+
+let unregister q w =
+  let rec remove = function
+    | [] -> None
+    | x :: rest when x == w -> Some rest
+    | x :: rest -> ( match remove rest with None -> None | Some r -> Some (x :: r))
+  in
+  match remove q.waiters with
+  | None -> false
+  | Some rest ->
+      q.waiters <- rest;
+      true
+
+let wake q ~policy f =
+  match policy with
+  | Wake_all ->
+      let ws = List.rev q.waiters in
+      q.waiters <- [];
+      List.iter f ws;
+      List.length ws
+  | Wake_one -> (
+      (* oldest waiter first: FIFO fairness *)
+      match List.rev q.waiters with
+      | [] -> 0
+      | oldest :: rest ->
+          q.waiters <- List.rev rest;
+          f oldest;
+          1)
+
+let length q = List.length q.waiters
+let is_empty q = q.waiters = []

@@ -1,0 +1,30 @@
+(** Kernel wait queues.
+
+    Each pollable object owns a wait queue. A sleeping task registers
+    on the wait queues of everything it polls; a status change wakes
+    the queue. The paper singles out wait-queue manipulation as the
+    expensive part of poll() (Brown's hypothesis for why RT signals
+    looked attractive), and discusses waking only one task instead of
+    all — both policies are implemented so the ablation bench can
+    compare them. *)
+
+type 'waiter t
+
+type wake_policy = Wake_all | Wake_one
+
+val create : unit -> 'w t
+
+val register : 'w t -> 'w -> unit
+(** Adds a waiter; duplicates are allowed and woken once per entry. *)
+
+val unregister : 'w t -> 'w -> bool
+(** Removes one matching entry (physical equality); false when the
+    waiter was not registered. *)
+
+val wake : 'w t -> policy:wake_policy -> ('w -> unit) -> int
+(** [wake q ~policy f] calls [f] on woken waiters — all of them, or
+    just the head — removing them from the queue. Returns the number
+    woken. *)
+
+val length : 'w t -> int
+val is_empty : 'w t -> bool

@@ -1,0 +1,1 @@
+lib/loadgen/experiment.mli: Cost_model Format Host Hybrid Metrics Phhttpd Server_stats Sio_httpd Sio_kernel Sio_sim Thttpd Time Wait_queue Workload

@@ -1,0 +1,1 @@
+lib/loadgen/httperf.ml: Engine Event_queue Histogram List Metrics Network Port_pool Rng Sampler Sio_httpd Sio_kernel Sio_net Sio_sim Socket Stats String Tcp Time Workload

@@ -1,0 +1,1 @@
+lib/loadgen/httperf.mli: Engine Metrics Network Rng Sio_kernel Sio_net Sio_sim Socket Time Workload

@@ -1,0 +1,1 @@
+lib/loadgen/inactive.ml: Engine Latency_profile List Network Rng Sio_httpd Sio_kernel Sio_net Sio_sim Socket String Tcp Time Workload

@@ -1,0 +1,1 @@
+lib/loadgen/inactive.mli: Engine Network Rng Sio_kernel Sio_net Sio_sim Socket Workload

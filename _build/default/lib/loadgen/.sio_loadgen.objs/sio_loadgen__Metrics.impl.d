@@ -1,0 +1,1 @@
+lib/loadgen/metrics.ml: Fmt Histogram Sio_sim Time

@@ -1,0 +1,1 @@
+lib/loadgen/metrics.mli: Format Histogram Sio_sim Time

@@ -1,0 +1,1 @@
+lib/loadgen/port_pool.ml: Engine Sio_sim Time

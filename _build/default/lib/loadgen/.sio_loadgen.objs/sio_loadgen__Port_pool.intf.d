@@ -1,0 +1,1 @@
+lib/loadgen/port_pool.mli: Engine Sio_sim Time

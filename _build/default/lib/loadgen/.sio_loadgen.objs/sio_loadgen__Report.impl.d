@@ -1,0 +1,1 @@
+lib/loadgen/report.ml: Array Buffer Experiment Float Fmt Host List Metrics Printf Sio_kernel Stdlib Sweep

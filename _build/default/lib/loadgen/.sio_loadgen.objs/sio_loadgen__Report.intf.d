@@ -1,0 +1,1 @@
+lib/loadgen/report.mli: Format Sweep

@@ -1,0 +1,1 @@
+lib/loadgen/sweep.ml: Experiment List Stdlib Workload

@@ -1,0 +1,1 @@
+lib/loadgen/sweep.mli: Experiment

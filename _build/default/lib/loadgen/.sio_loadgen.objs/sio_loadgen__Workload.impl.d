@@ -1,0 +1,1 @@
+lib/loadgen/workload.ml: Fmt Latency_profile Sio_httpd Sio_net Sio_sim Stdlib Time

@@ -1,0 +1,1 @@
+lib/loadgen/workload.mli: Format Latency_profile Sio_net Sio_sim Time

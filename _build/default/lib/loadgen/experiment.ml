@@ -1,0 +1,199 @@
+open Sio_sim
+open Sio_kernel
+open Sio_httpd
+
+type server_kind =
+  | Thttpd_select
+  | Thttpd_poll
+  | Thttpd_devpoll of { use_mmap : bool; max_events : int }
+  | Thttpd_epoll of { max_events : int }
+  | Phhttpd
+  | Hybrid
+
+let pp_server_kind ppf = function
+  | Thttpd_select -> Fmt.string ppf "thttpd+select"
+  | Thttpd_poll -> Fmt.string ppf "thttpd+poll"
+  | Thttpd_devpoll { use_mmap; max_events } ->
+      Fmt.pf ppf "thttpd+devpoll(mmap=%b,batch=%d)" use_mmap max_events
+  | Thttpd_epoll { max_events } -> Fmt.pf ppf "thttpd+epoll(batch=%d)" max_events
+  | Phhttpd -> Fmt.string ppf "phhttpd"
+  | Hybrid -> Fmt.string ppf "hybrid"
+
+type config = {
+  kind : server_kind;
+  workload : Workload.t;
+  costs : Cost_model.t;
+  seed : int;
+  thttpd : Thttpd.config;
+  phhttpd : Phhttpd.config;
+  hybrid : Hybrid.config;
+  server_fd_limit : int;
+  settle : Time.t;
+  drain : Time.t;
+  hints : bool;
+  wake_policy : Wait_queue.wake_policy;
+  use_sendfile : bool;
+}
+
+let default_config ~kind ~workload =
+  let conn = { Conn.default_config with doc_bytes = workload.Workload.doc_bytes } in
+  {
+    kind;
+    workload;
+    costs = Cost_model.default;
+    seed = 42;
+    thttpd = { Thttpd.default_config with conn };
+    phhttpd = { Phhttpd.default_config with conn };
+    hybrid = { Hybrid.default_config with conn };
+    server_fd_limit = 4096;
+    settle = Time.s 2;
+    drain = Time.s 1;
+    hints = true;
+    wake_policy = Wait_queue.Wake_all;
+    use_sendfile = false;
+  }
+
+type outcome = {
+  metrics : Metrics.t;
+  server_stats : Server_stats.t;
+  host_counters : Host.counters;
+  cpu_utilization : float;
+  inactive_established : int;
+  inactive_reopens : int;
+  final_mode : string;
+}
+
+type running_server = {
+  listener : Socket.t;
+  stats : Server_stats.t;
+  stop : unit -> unit;
+  mode : unit -> string;
+}
+
+(* Serve the workload's document from the filesystem substrate: the
+   same page-cache path a real static server takes. *)
+let with_fs cfg host =
+  let fs = Fs.create ~host () in
+  Fs.add_file fs ~path:cfg.workload.Workload.document_path
+    ~bytes:cfg.workload.Workload.doc_bytes;
+  let conn_of base =
+    { base with Sio_httpd.Conn.fs = Some fs; use_sendfile = cfg.use_sendfile }
+  in
+  {
+    cfg with
+    thttpd = { cfg.thttpd with Sio_httpd.Thttpd.conn = conn_of cfg.thttpd.Sio_httpd.Thttpd.conn };
+    phhttpd =
+      { cfg.phhttpd with Sio_httpd.Phhttpd.conn = conn_of cfg.phhttpd.Sio_httpd.Phhttpd.conn };
+    hybrid = { cfg.hybrid with Sio_httpd.Hybrid.conn = conn_of cfg.hybrid.Sio_httpd.Hybrid.conn };
+  }
+
+let thttpd_on cfg proc backend label =
+  match Thttpd.start ~proc ~backend ~config:cfg.thttpd () with
+  | Ok t ->
+      {
+        listener = Thttpd.listener t;
+        stats = Thttpd.stats t;
+        stop = (fun () -> Thttpd.stop t);
+        mode = (fun () -> label);
+      }
+  | Error `Emfile -> failwith ("Experiment: thttpd+" ^ label ^ " failed to start")
+
+let start_server cfg proc =
+  match cfg.kind with
+  | Thttpd_select -> thttpd_on cfg proc (Backend.select proc) "select"
+  | Thttpd_epoll { max_events } ->
+      thttpd_on cfg proc (Backend.epoll ~max_events proc) "epoll"
+  | Thttpd_poll -> (
+      let backend = Backend.poll proc in
+      match Thttpd.start ~proc ~backend ~config:cfg.thttpd () with
+      | Ok t ->
+          {
+            listener = Thttpd.listener t;
+            stats = Thttpd.stats t;
+            stop = (fun () -> Thttpd.stop t);
+            mode = (fun () -> "poll");
+          }
+      | Error `Emfile -> failwith "Experiment: thttpd+poll failed to start")
+  | Thttpd_devpoll { use_mmap; max_events } -> (
+      match Backend.devpoll ~use_mmap ~max_events proc with
+      | Error `Emfile -> failwith "Experiment: /dev/poll open failed"
+      | Ok backend -> (
+          match Thttpd.start ~proc ~backend ~config:cfg.thttpd () with
+          | Ok t ->
+              {
+                listener = Thttpd.listener t;
+                stats = Thttpd.stats t;
+                stop = (fun () -> Thttpd.stop t);
+                mode = (fun () -> "devpoll");
+              }
+          | Error `Emfile -> failwith "Experiment: thttpd+devpoll failed to start"))
+  | Phhttpd -> (
+      match Phhttpd.start ~proc ~config:cfg.phhttpd () with
+      | Ok t ->
+          {
+            listener = Phhttpd.listener t;
+            stats = Phhttpd.stats t;
+            stop = (fun () -> Phhttpd.stop t);
+            mode =
+              (fun () ->
+                match Phhttpd.mode t with
+                | Phhttpd.Signals -> "signals"
+                | Phhttpd.Polling -> "polling");
+          }
+      | Error `Emfile -> failwith "Experiment: phhttpd failed to start")
+  | Hybrid -> (
+      match Hybrid.start ~proc ~config:cfg.hybrid () with
+      | Ok t ->
+          {
+            listener = Hybrid.listener t;
+            stats = Hybrid.stats t;
+            stop = (fun () -> Hybrid.stop t);
+            mode =
+              (fun () ->
+                match Hybrid.mode t with
+                | Hybrid.Signals -> "signals"
+                | Hybrid.Polling -> "polling");
+          }
+      | Error `Emfile -> failwith "Experiment: hybrid failed to start")
+
+let run cfg =
+  let engine = Engine.create ~seed:cfg.seed () in
+  let host =
+    Host.create ~engine ~costs:cfg.costs ~wake_policy:cfg.wake_policy
+      ~hints_by_default:cfg.hints ()
+  in
+  let net = Sio_net.Network.create ~engine () in
+  let proc = Process.create ~host ~fd_limit:cfg.server_fd_limit ~name:"server" () in
+  let cfg = with_fs cfg host in
+  let server = start_server cfg proc in
+  let rng = Rng.split (Engine.rng engine) in
+  let pool =
+    Inactive.start ~engine ~net ~listener:server.listener ~workload:cfg.workload ~rng ()
+  in
+  (* Let the idle population establish before offering load. *)
+  Engine.run ~until:cfg.settle engine;
+  let client =
+    Httperf.start ~engine ~net ~listener:server.listener ~workload:cfg.workload
+      ~rng:(Rng.split (Engine.rng engine)) ()
+  in
+  let generation_end =
+    Time.add (Engine.now engine) (Workload.generation_duration cfg.workload)
+  in
+  let horizon =
+    Time.add generation_end (Time.add cfg.workload.Workload.client_timeout cfg.drain)
+  in
+  Engine.run ~until:horizon engine;
+  let t_end = generation_end in
+  let metrics = Httperf.metrics client ~t_end in
+  let final_mode = server.mode () in
+  server.stop ();
+  Inactive.stop pool;
+  {
+    metrics;
+    server_stats = server.stats;
+    host_counters = host.Host.counters;
+    cpu_utilization = Cpu.utilization host.Host.cpu ~now:(Engine.now engine);
+    inactive_established = Inactive.established pool;
+    inactive_reopens = Inactive.reopens pool;
+    final_mode;
+  }

@@ -1,0 +1,53 @@
+(** One fully wired benchmark run: server host + network + inactive
+    pool + httperf, executed to completion, yielding the measurements
+    the paper's figures plot. *)
+
+open Sio_sim
+open Sio_kernel
+open Sio_httpd
+
+type server_kind =
+  | Thttpd_select  (** thttpd on select(2): the pre-poll baseline *)
+  | Thttpd_poll  (** stock thttpd on classic poll() *)
+  | Thttpd_devpoll of { use_mmap : bool; max_events : int }
+      (** thttpd modified for /dev/poll *)
+  | Thttpd_epoll of { max_events : int }
+      (** thttpd on the epoll-style ready list: the mechanism this
+          line of work became *)
+  | Phhttpd  (** RT-signal server *)
+  | Hybrid  (** the paper's future-work design *)
+
+val pp_server_kind : Format.formatter -> server_kind -> unit
+
+type config = {
+  kind : server_kind;
+  workload : Workload.t;
+  costs : Cost_model.t;
+  seed : int;
+  thttpd : Thttpd.config;
+  phhttpd : Phhttpd.config;
+  hybrid : Hybrid.config;
+  server_fd_limit : int;
+  settle : Time.t;  (** let the inactive pool establish before measuring *)
+  drain : Time.t;  (** grace period after generation ends *)
+  hints : bool;  (** device-driver hinting available (ablation knob) *)
+  wake_policy : Wait_queue.wake_policy;
+  use_sendfile : bool;
+      (** serve responses through sendfile() (paper §6 future work) *)
+}
+
+val default_config : kind:server_kind -> workload:Workload.t -> config
+(** Server document size and sampling follow the workload; everything
+    else takes the library defaults. *)
+
+type outcome = {
+  metrics : Metrics.t;
+  server_stats : Server_stats.t;
+  host_counters : Host.counters;
+  cpu_utilization : float;
+  inactive_established : int;
+  inactive_reopens : int;
+  final_mode : string;  (** phhttpd/hybrid: mode at end of run *)
+}
+
+val run : config -> outcome

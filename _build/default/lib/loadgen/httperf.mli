@@ -1,0 +1,42 @@
+(** The rate-driven benchmark client (httperf, as modified for the
+    paper: dynamic descriptor handling, high-latency client support).
+
+    Offers [total_connections] connections at the target rate with
+    deterministic spacing, one GET per connection, and classifies
+    every outcome. Client-side resource limits are enforced: a
+    descriptor budget and an ephemeral-port pool with TIME_WAIT
+    quarantine — the limits that shaped the paper's 35 000-connection
+    benchmark procedure. *)
+
+open Sio_sim
+open Sio_net
+open Sio_kernel
+
+type t
+
+val start :
+  engine:Engine.t ->
+  net:Network.t ->
+  listener:Socket.t ->
+  workload:Workload.t ->
+  ?rng:Rng.t ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  t
+(** Begins offering connections immediately. [on_done] fires when
+    every offered connection has reached a terminal state. [rng] is
+    required only when the workload's [active_latency] profile is
+    randomized (defaults to a fresh seed-0 stream). *)
+
+val attempted : t -> int
+val completed : t -> int
+val errors : t -> Metrics.errors
+val in_flight : t -> int
+val is_done : t -> bool
+
+val fds_in_use : t -> int
+val ports_in_use : t -> int
+
+val metrics : t -> t_end:Time.t -> Metrics.t
+(** Summarises the run. [t_end] bounds the reply-rate sampling window
+    (normally the end of connection generation). *)

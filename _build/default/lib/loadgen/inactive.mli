@@ -1,0 +1,38 @@
+(** The inactive-connection generator.
+
+    "We add client programs that do not complete an http request. To
+    keep the number of high-latency clients constant, these clients
+    reopen their connection if the server times them out."
+
+    Each client connects over a high-latency path, sends a {e partial}
+    request (so the server parses, finds it incomplete, and keeps the
+    connection open), and then goes quiet. When the server's idle
+    sweep closes or resets it, the client reconnects after a short
+    delay, keeping the population constant for the whole run. *)
+
+open Sio_sim
+open Sio_net
+open Sio_kernel
+
+type t
+
+val start :
+  engine:Engine.t ->
+  net:Network.t ->
+  listener:Socket.t ->
+  workload:Workload.t ->
+  rng:Rng.t ->
+  unit ->
+  t
+(** Opens [workload.inactive_connections] clients, their connects
+    spread over the first 500 ms. *)
+
+val target : t -> int
+val established : t -> int
+(** Currently-open inactive connections. *)
+
+val reopens : t -> int
+(** Times a timed-out client reconnected. *)
+
+val stop : t -> unit
+(** Closes every client and stops reopening. *)

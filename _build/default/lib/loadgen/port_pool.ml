@@ -1,0 +1,29 @@
+open Sio_sim
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  time_wait : Time.t;
+  mutable in_use : int;
+}
+
+let create ~engine ~ports ~time_wait =
+  if ports <= 0 then invalid_arg "Port_pool.create: ports must be positive";
+  if Time.is_negative time_wait then invalid_arg "Port_pool.create: negative time_wait";
+  { engine; capacity = ports; time_wait; in_use = 0 }
+
+let capacity t = t.capacity
+let in_use t = t.in_use
+let available t = t.capacity - t.in_use
+
+let acquire t =
+  if t.in_use >= t.capacity then false
+  else begin
+    t.in_use <- t.in_use + 1;
+    true
+  end
+
+let release t =
+  ignore (Engine.after t.engine t.time_wait (fun () -> t.in_use <- t.in_use - 1))
+
+let release_immediately t = t.in_use <- t.in_use - 1

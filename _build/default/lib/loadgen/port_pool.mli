@@ -1,0 +1,32 @@
+(** Ephemeral client ports with TIME_WAIT quarantine.
+
+    The resource whose exhaustion dictated the paper's benchmark
+    procedure: "we can have only about 60000 open sockets at a single
+    point in time. When a socket closes it enters the TIME-WAIT state
+    for sixty seconds … We therefore run each benchmark for 35,000
+    connections" and wait for the quarantine to drain between runs. *)
+
+open Sio_sim
+
+type t
+
+val create : engine:Engine.t -> ports:int -> time_wait:Time.t -> t
+(** Raises [Invalid_argument] if [ports] is not positive or
+    [time_wait] is negative. *)
+
+val capacity : t -> int
+val in_use : t -> int
+(** Open plus quarantined ports. *)
+
+val available : t -> int
+
+val acquire : t -> bool
+(** Takes one port; false when the pool is exhausted. *)
+
+val release : t -> unit
+(** Moves one acquired port into TIME_WAIT; it returns to the pool
+    automatically after the quarantine. *)
+
+val release_immediately : t -> unit
+(** Returns a port with no quarantine (an RST-terminated connection
+    skips TIME_WAIT). *)

@@ -1,0 +1,123 @@
+open Sio_kernel
+
+type series = { label : string; points : Sweep.point list }
+
+let pp_table ppf s =
+  Fmt.pf ppf "%s@." s.label;
+  Fmt.pf ppf "%a@." Metrics.pp_row_header ();
+  List.iter
+    (fun p -> Fmt.pf ppf "%a@." Metrics.pp_row p.Sweep.outcome.Experiment.metrics)
+    s.points
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let pp_reply_rate_chart ppf ?(height = 16) series_list =
+  match series_list with
+  | [] -> ()
+  | _ ->
+      let all_points =
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun p -> (p.Sweep.rate, p.Sweep.outcome.Experiment.metrics.Metrics.reply_rate_avg))
+              s.points)
+          series_list
+      in
+      let max_y =
+        List.fold_left (fun acc (r, v) -> Float.max acc (Float.max (float_of_int r) v)) 1. all_points
+      in
+      let columns =
+        match series_list with
+        | s :: _ -> List.map (fun p -> p.Sweep.rate) s.points
+        | [] -> []
+      in
+      let ncols = List.length columns in
+      let grid = Array.make_matrix height ncols ' ' in
+      List.iteri
+        (fun si s ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          List.iteri
+            (fun ci p ->
+              if ci < ncols then begin
+                let v = p.Sweep.outcome.Experiment.metrics.Metrics.reply_rate_avg in
+                let row =
+                  height - 1 - int_of_float (v /. max_y *. float_of_int (height - 1))
+                in
+                let row = Stdlib.max 0 (Stdlib.min (height - 1) row) in
+                grid.(row).(ci) <- glyph
+              end)
+            s.points)
+        series_list;
+      Fmt.pf ppf "reply rate (max %.0f/s)@." max_y;
+      Array.iteri
+        (fun i row ->
+          let label =
+            if i = 0 then Printf.sprintf "%6.0f |" max_y
+            else if i = height - 1 then Printf.sprintf "%6.0f |" 0.
+            else "       |"
+          in
+          Fmt.pf ppf "%s" label;
+          Array.iter (fun c -> Fmt.pf ppf "  %c " c) row;
+          Fmt.pf ppf "@.")
+        grid;
+      Fmt.pf ppf "        ";
+      List.iter (fun r -> Fmt.pf ppf "%4d" r) columns;
+      Fmt.pf ppf "  <- target rate@.";
+      List.iteri
+        (fun si s ->
+          Fmt.pf ppf "  %c = %s@." glyphs.(si mod Array.length glyphs) s.label)
+        series_list
+
+let pp_column_comparison ppf ~quantity ~extract series_list =
+  match series_list with
+  | [] -> ()
+  | first :: _ ->
+      Fmt.pf ppf "%6s" "rate";
+      List.iter (fun s -> Fmt.pf ppf "  %18s" s.label) series_list;
+      Fmt.pf ppf "    (%s)@." quantity;
+      List.iteri
+        (fun i p ->
+          Fmt.pf ppf "%6d" p.Sweep.rate;
+          List.iter
+            (fun s ->
+              match List.nth_opt s.points i with
+              | Some q -> Fmt.pf ppf "  %18.2f" (extract q)
+              | None -> Fmt.pf ppf "  %18s" "-")
+            series_list;
+          Fmt.pf ppf "@.")
+        first.points
+
+let pp_error_comparison ppf series_list =
+  pp_column_comparison ppf ~quantity:"errors in percent"
+    ~extract:(fun p -> p.Sweep.outcome.Experiment.metrics.Metrics.error_percent)
+    series_list
+
+let pp_latency_comparison ppf series_list =
+  pp_column_comparison ppf ~quantity:"median connection time, ms"
+    ~extract:(fun p -> Metrics.median_latency_ms p.Sweep.outcome.Experiment.metrics)
+    series_list
+
+let pp_counters ppf p =
+  let o = p.Sweep.outcome in
+  let c = o.Experiment.host_counters in
+  Fmt.pf ppf
+    "rate=%d cpu=%.1f%% syscalls=%d driver_polls=%d hint_skips=%d wakes=%d rt_enq=%d rt_drop=%d overflows=%d refused=%d mode=%s@."
+    p.Sweep.rate
+    (100. *. o.Experiment.cpu_utilization)
+    c.Host.syscalls c.Host.driver_polls c.Host.hint_skips c.Host.wait_queue_wakes
+    c.Host.rt_enqueued c.Host.rt_dropped c.Host.rt_overflows
+    c.Host.connections_refused o.Experiment.final_mode
+
+let csv_of_series s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "rate,avg,sd,min,max,err_percent,median_ms,attempted,completed\n";
+  List.iter
+    (fun p ->
+      let m = p.Sweep.outcome.Experiment.metrics in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.3f,%d,%d\n" p.Sweep.rate
+           m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd m.Metrics.reply_rate_min
+           m.Metrics.reply_rate_max m.Metrics.error_percent
+           (Metrics.median_latency_ms m) m.Metrics.attempted m.Metrics.completed))
+    s.points;
+  Buffer.contents buf

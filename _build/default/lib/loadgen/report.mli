@@ -1,0 +1,26 @@
+(** Text rendering of sweep results: the same rows the paper's figures
+    plot, plus simple ASCII curves for eyeballing shapes in a
+    terminal. *)
+
+type series = { label : string; points : Sweep.point list }
+
+val pp_table : Format.formatter -> series -> unit
+(** Rate / avg / sd / min / max / err% / median rows, one per point. *)
+
+val pp_reply_rate_chart : Format.formatter -> ?height:int -> series list -> unit
+(** ASCII chart of average reply rate vs target rate for several
+    series overlaid (each series gets a distinct glyph). *)
+
+val pp_error_comparison : Format.formatter -> series list -> unit
+(** Error-percent columns side by side (Figure 10's quantity). *)
+
+val pp_latency_comparison : Format.formatter -> series list -> unit
+(** Median-latency columns side by side (Figure 14's quantity). *)
+
+val pp_counters : Format.formatter -> Sweep.point -> unit
+(** Kernel/server counter dump for one point (hints, driver polls,
+    overflows, ...). *)
+
+val csv_of_series : series -> string
+(** The series as CSV (header + one row per rate), for external
+    plotting tools. *)

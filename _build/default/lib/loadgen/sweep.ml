@@ -1,0 +1,29 @@
+type point = { rate : int; outcome : Experiment.outcome }
+
+let rates ~from ~until ~step =
+  if step <= 0 then invalid_arg "Sweep.rates: step must be positive";
+  let rec go r acc = if r > until then List.rev acc else go (r + step) (r :: acc) in
+  go from []
+
+let paper_rates = rates ~from:500 ~until:1100 ~step:50
+
+let run ?(on_point = fun _ -> ()) ?(min_duration_s = 3) ~base ~rates () =
+  List.map
+    (fun rate ->
+      let total =
+        Stdlib.max base.Experiment.workload.Workload.total_connections
+          (min_duration_s * rate)
+      in
+      let workload =
+        {
+          base.Experiment.workload with
+          Workload.request_rate = rate;
+          total_connections = total;
+        }
+      in
+      let cfg = { base with Experiment.workload; seed = base.Experiment.seed + rate } in
+      let outcome = Experiment.run cfg in
+      let point = { rate; outcome } in
+      on_point point;
+      point)
+    rates

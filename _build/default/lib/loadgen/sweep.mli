@@ -1,0 +1,23 @@
+(** Request-rate sweeps: one figure = one sweep. *)
+
+type point = { rate : int; outcome : Experiment.outcome }
+
+val paper_rates : int list
+(** 500, 550, ..., 1100 — the x axis of Figures 4-14. *)
+
+val rates : from:int -> until:int -> step:int -> int list
+
+val run :
+  ?on_point:(point -> unit) ->
+  ?min_duration_s:int ->
+  base:Experiment.config ->
+  rates:int list ->
+  unit ->
+  point list
+(** Runs the base experiment once per rate (each run gets a fresh
+    engine, deterministic from the shared seed plus the rate).
+    [on_point] fires as each point completes, for progress output.
+    [min_duration_s] (default 3) raises the per-point connection count
+    when necessary so every point generates load for at least that
+    many seconds — down-scaled workloads stay measurable at high
+    rates. *)

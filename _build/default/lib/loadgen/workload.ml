@@ -1,0 +1,46 @@
+open Sio_sim
+open Sio_net
+
+type t = {
+  request_rate : int;
+  total_connections : int;
+  inactive_connections : int;
+  document_path : string;
+  doc_bytes : int;
+  client_timeout : Time.t;
+  client_fd_limit : int;
+  ephemeral_ports : int;
+  time_wait : Time.t;
+  inactive_latency : Latency_profile.t;
+  active_latency : Latency_profile.t;
+  inactive_reopen_delay : Time.t;
+}
+
+let default =
+  {
+    request_rate = 700;
+    total_connections = 35_000;
+    inactive_connections = 1;
+    document_path = "/index.html";
+    doc_bytes = Sio_httpd.Http.default_document_bytes;
+    client_timeout = Time.s 5;
+    client_fd_limit = 20_000;
+    ephemeral_ports = 60_000;
+    time_wait = Time.s 60;
+    inactive_latency = Latency_profile.Wan { base = Time.ms 80; jitter = Time.ms 60 };
+    active_latency = Latency_profile.Lan;
+    inactive_reopen_delay = Time.ms 500;
+  }
+
+let scaled w f =
+  if f <= 0. then invalid_arg "Workload.scaled: factor must be positive";
+  let n = int_of_float (float_of_int w.total_connections *. f) in
+  { w with total_connections = Stdlib.max 100 n }
+
+let generation_duration w =
+  if w.request_rate <= 0 then invalid_arg "Workload.generation_duration: rate must be positive";
+  Time.of_sec_f (float_of_int w.total_connections /. float_of_int w.request_rate)
+
+let pp ppf w =
+  Fmt.pf ppf "rate=%d/s conns=%d inactive=%d doc=%dB timeout=%a" w.request_rate
+    w.total_connections w.inactive_connections w.doc_bytes Time.pp w.client_timeout

@@ -1,0 +1,45 @@
+(** Benchmark workload description.
+
+    Mirrors the paper's procedure: httperf offers connections at a
+    fixed target rate, each fetching one 6 KB document over a fresh
+    connection; a separate program keeps a constant number of inactive
+    (never-completing, high-latency) connections open; runs are capped
+    at 35 000 connections to stay clear of the 60 000-socket
+    TIME_WAIT/port limit. *)
+
+open Sio_sim
+open Sio_net
+
+type t = {
+  request_rate : int;  (** target new connections per second *)
+  total_connections : int;  (** paper: 35 000 per run *)
+  inactive_connections : int;  (** paper: 1, 251, 501 *)
+  document_path : string;
+  doc_bytes : int;  (** must match the server's configured body size *)
+  client_timeout : Time.t;  (** httperf's per-connection timeout *)
+  client_fd_limit : int;
+      (** the modified httperf copes with >1024 descriptors *)
+  ephemeral_ports : int;  (** ~60 000 usable client ports *)
+  time_wait : Time.t;  (** port quarantine after close (60 s) *)
+  inactive_latency : Latency_profile.t;
+      (** extra path latency of the idle clients *)
+  active_latency : Latency_profile.t;
+      (** extra path latency of the requesting clients (the paper's
+          benchmark clients sit on the LAN; set Wan/Modem to model
+          "32,000 high latency connections from across the Internet") *)
+  inactive_reopen_delay : Time.t;
+      (** how quickly a timed-out idle client reconnects *)
+}
+
+val default : t
+(** The paper's parameters at rate 700 and load 1; override fields per
+    experiment. *)
+
+val scaled : t -> float -> t
+(** [scaled w f] multiplies [total_connections] by [f] (minimum 100
+    connections): the knob that trades run time for smoother curves. *)
+
+val generation_duration : t -> Time.t
+(** Time to offer all connections at the target rate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/net/latency_profile.ml: Float Fmt Rng Sio_sim Time

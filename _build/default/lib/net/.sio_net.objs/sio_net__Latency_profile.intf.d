@@ -1,0 +1,1 @@
+lib/net/latency_profile.mli: Format Rng Sio_sim Time

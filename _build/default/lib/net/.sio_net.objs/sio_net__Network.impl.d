@@ -1,0 +1,1 @@
+lib/net/network.ml: Link Sio_sim Time

@@ -1,0 +1,1 @@
+lib/net/network.mli: Engine Link Sio_sim Time

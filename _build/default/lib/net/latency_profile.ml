@@ -1,0 +1,24 @@
+open Sio_sim
+
+type t =
+  | Lan
+  | Wan of { base : Time.t; jitter : Time.t }
+  | Modem of { min_latency : Time.t; shape : float }
+
+let draw t rng =
+  match t with
+  | Lan -> Time.zero
+  | Wan { base; jitter } ->
+      if jitter <= 0 then base else Time.add base (Rng.int rng jitter)
+  | Modem { min_latency; shape } ->
+      let x = Rng.pareto rng ~shape ~scale:(Time.to_sec_f min_latency) in
+      (* Cap the tail at 10 s so a single draw cannot dominate a run. *)
+      Time.of_sec_f (Float.min x 10.0)
+
+let pp ppf = function
+  | Lan -> Fmt.string ppf "lan"
+  | Wan { base; jitter } -> Fmt.pf ppf "wan(base=%a,jitter=%a)" Time.pp base Time.pp jitter
+  | Modem { min_latency; shape } ->
+      Fmt.pf ppf "modem(min=%a,shape=%.2f)" Time.pp min_latency shape
+
+let default_modem = Modem { min_latency = Time.ms 120; shape = 1.5 }

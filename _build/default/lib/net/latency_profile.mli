@@ -1,0 +1,24 @@
+(** Client latency profiles.
+
+    The paper's point of departure is that real servers face "32,000
+    high latency, low bandwidth connections from across the Internet",
+    not 32 gigabit clients. A profile draws a per-connection one-way
+    extra latency added on top of the LAN link. *)
+
+open Sio_sim
+
+type t =
+  | Lan  (** no extra latency: the paper's benchmark client *)
+  | Wan of { base : Time.t; jitter : Time.t }
+      (** fixed base plus uniform jitter in [0, jitter) *)
+  | Modem of { min_latency : Time.t; shape : float }
+      (** Pareto-tailed latency from [min_latency] up; models dial-up
+          and error-prone paths *)
+
+val draw : t -> Rng.t -> Time.t
+(** One-way extra latency for a fresh connection. *)
+
+val pp : Format.formatter -> t -> unit
+
+val default_modem : t
+(** 120 ms minimum, heavy tail: a 2000-era dial-up user. *)

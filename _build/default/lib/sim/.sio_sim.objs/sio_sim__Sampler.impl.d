@@ -1,0 +1,1 @@
+lib/sim/sampler.ml: Array List Stdlib Time

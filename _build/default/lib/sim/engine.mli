@@ -1,0 +1,46 @@
+(** The discrete-event simulation main loop.
+
+    An engine owns a clock and an event queue. Subsystems schedule
+    callbacks; {!run} advances the clock to each event in order and
+    executes it. Everything in this repository — the simulated kernel,
+    the network, the load generator — hangs off one engine, so the
+    whole experiment shares one totally ordered notion of time. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh engine whose root RNG is seeded with
+    [seed] (default 42). *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Subsystems should {!Rng.split} their own
+    stream from it at construction. *)
+
+val at : t -> Time.t -> (unit -> unit) -> Event_queue.handle
+(** [at e t f] schedules [f] at absolute time [t]. Raises
+    [Invalid_argument] if [t] is in the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> Event_queue.handle
+(** [after e d f] schedules [f] at [now e + d]. *)
+
+val cancel : t -> Event_queue.handle -> unit
+
+val run : ?until:Time.t -> t -> unit
+(** [run e] executes events in time order until the queue is empty, or
+    until the clock would pass [until] (events at exactly [until] still
+    run). Without a horizon the clock ends at the last executed
+    event's time; with one, it always ends at [until]. *)
+
+val step : t -> bool
+(** [step e] executes the single next event. Returns false if the
+    queue was empty. *)
+
+val events_executed : t -> int
+(** Total events executed so far; a cheap progress/cost proxy used by
+    tests. *)
+
+val pending : t -> int
+(** Live events still scheduled. *)

@@ -1,0 +1,36 @@
+(** Timed, cancellable events.
+
+    A thin layer over {!Heap} that gives each scheduled event a unique
+    id and FIFO ordering among events scheduled for the same instant.
+    Cancellation is lazy: a cancelled event stays in the heap until its
+    time comes and is then discarded, which keeps cancel O(1). *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule q ~at f] arranges for [f ()] to run when the queue is
+    advanced to time [at]. Events at equal times fire in scheduling
+    order. Raises [Invalid_argument] if [at] is negative. *)
+
+val cancel : t -> handle -> unit
+(** [cancel q h] prevents the event from firing. Cancelling an event
+    that already fired (or was already cancelled) is a no-op. *)
+
+val is_pending : t -> handle -> bool
+
+val next_time : t -> Time.t option
+(** Time of the earliest live event, skipping cancelled ones. *)
+
+val pop_due : t -> now:Time.t -> (unit -> unit) option
+(** [pop_due q ~now] removes and returns the action of the earliest
+    live event with time <= [now], if any. *)
+
+val length : t -> int
+(** Live (non-cancelled) events still queued. *)
+
+val is_empty : t -> bool

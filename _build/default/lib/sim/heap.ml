@@ -1,0 +1,79 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  initial_capacity : int;
+  mutable data : 'a array; (* physical storage; [size] live slots *)
+  mutable size : int;
+}
+
+let create ?(initial_capacity = 16) ~leq () =
+  { leq; initial_capacity = Stdlib.max 1 initial_capacity; data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let ensure_room h x =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let data = Array.make (Stdlib.max h.initial_capacity (2 * cap)) x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+(* Standard sift-up: the freshly pushed element climbs while it
+   strictly precedes its parent. *)
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if not (h.leq h.data.(parent) h.data.(i)) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let push h x =
+  ensure_room h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+(* Sift-down after the last element replaces the root: descend toward
+   the smaller child until heap order is restored. *)
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest =
+    let smallest = if l < h.size && not (h.leq h.data.(i) h.data.(l)) then l else i in
+    if r < h.size && not (h.leq h.data.(smallest) h.data.(r)) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(smallest);
+    h.data.(smallest) <- tmp;
+    sift_down h smallest
+  end
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0
+
+let to_list h = Array.to_list (Array.sub h.data 0 h.size)

@@ -1,0 +1,47 @@
+type t = {
+  interval : Time.t;
+  mutable started : bool;
+  mutable origin : Time.t; (* start of interval 0 *)
+  mutable counts : int array; (* per-interval counters *)
+  mutable last_index : int;
+}
+
+let create ~interval =
+  if interval <= 0 then invalid_arg "Sampler.create: non-positive interval";
+  { interval; started = false; origin = 0; counts = Array.make 64 0; last_index = -1 }
+
+let ensure t i =
+  let n = Array.length t.counts in
+  if i >= n then begin
+    let counts = Array.make (Stdlib.max (i + 1) (2 * n)) 0 in
+    Array.blit t.counts 0 counts 0 n;
+    t.counts <- counts
+  end
+
+let record_n t ~now n =
+  if not t.started then begin
+    t.started <- true;
+    t.origin <- now
+  end;
+  let i = Time.sub now t.origin / t.interval in
+  let i = Stdlib.max i t.last_index in
+  ensure t i;
+  t.counts.(i) <- t.counts.(i) + n;
+  t.last_index <- i
+
+let record t ~now = record_n t ~now 1
+
+let rates t ~until =
+  if not t.started then []
+  else begin
+    let span = Time.sub until t.origin in
+    let complete = span / t.interval in
+    let scale = 1e9 /. float_of_int t.interval in
+    let n = Stdlib.min complete (t.last_index + 1) in
+    let n = Stdlib.max n 0 in
+    List.init complete (fun i ->
+        if i < n && i < Array.length t.counts then float_of_int t.counts.(i) *. scale
+        else 0.)
+  end
+
+let interval t = t.interval

@@ -1,0 +1,26 @@
+(** Per-interval time series.
+
+    httperf-style measurements need the reply *rate* sampled over fixed
+    wall-clock intervals (the paper's min/max/error-bar data comes from
+    five-second samples). A sampler counts occurrences and, when asked
+    for results, closes out every interval from the first event to the
+    supplied end time — including empty intervals, which is exactly
+    where an overloaded server shows minima of zero. *)
+
+type t
+
+val create : interval:Time.t -> t
+(** Raises [Invalid_argument] if [interval <= 0]. *)
+
+val record : t -> now:Time.t -> unit
+(** Counts one occurrence at time [now]. Events must arrive in
+    non-decreasing time order. *)
+
+val record_n : t -> now:Time.t -> int -> unit
+
+val rates : t -> until:Time.t -> float list
+(** [rates t ~until] is the per-second rate of each complete interval
+    between the sampler's start and [until], in time order, including
+    zero intervals. Empty if nothing was ever recorded. *)
+
+val interval : t -> Time.t

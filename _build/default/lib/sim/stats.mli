@@ -1,0 +1,33 @@
+(** Online summary statistics.
+
+    Welford's algorithm for numerically stable mean/variance, plus
+    min/max and a count; constant space regardless of sample count. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] summarises the union of both sample streams (Chan's
+    parallel variance combination). Inputs are not modified. *)
+
+val pp : Format.formatter -> t -> unit

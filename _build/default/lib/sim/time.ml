@@ -1,0 +1,35 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+
+let of_sec_f x =
+  if Float.is_nan x || x < 0. then
+    invalid_arg "Time.of_sec_f: negative or NaN"
+  else Float.to_int (Float.round (x *. 1e9))
+
+let to_sec_f t = float_of_int t /. 1e9
+let to_ms_f t = float_of_int t /. 1e6
+let to_us_f t = float_of_int t /. 1e3
+
+let add = ( + )
+let sub = ( - )
+let mul = ( * )
+let div = ( / )
+let min = Stdlib.min
+let max = Stdlib.max
+let compare = Int.compare
+let equal = Int.equal
+let is_negative t = t < 0
+
+let pp ppf t =
+  let a = abs t in
+  if a < 1_000 then Fmt.pf ppf "%dns" t
+  else if a < 1_000_000 then Fmt.pf ppf "%.1fus" (to_us_f t)
+  else if a < 1_000_000_000 then Fmt.pf ppf "%.2fms" (to_ms_f t)
+  else Fmt.pf ppf "%.3fs" (to_sec_f t)
+
+let to_string t = Fmt.str "%a" pp t

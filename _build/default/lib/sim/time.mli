@@ -1,0 +1,54 @@
+(** Simulated time.
+
+    All simulation clocks count integer nanoseconds from the start of
+    the run. Using integers keeps every experiment deterministic and
+    makes equality exact; 63-bit nanoseconds cover about 146 years of
+    simulated time, far beyond any run in this repository. *)
+
+type t = int
+(** A point in simulated time, or a duration, in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is a duration of [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is a duration of [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is a duration of [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is a duration of [n] seconds. *)
+
+val of_sec_f : float -> t
+(** [of_sec_f x] converts [x] seconds to nanoseconds, rounding to
+    nearest. Raises [Invalid_argument] on NaN or negative input. *)
+
+val to_sec_f : t -> float
+(** [to_sec_f t] is [t] expressed in seconds. *)
+
+val to_ms_f : t -> float
+(** [to_ms_f t] is [t] expressed in milliseconds. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in microseconds. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> int -> t
+val div : t -> int -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_negative : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with an adaptive unit, e.g. ["1.5ms"], ["42us"],
+    ["3.000s"]. *)
+
+val to_string : t -> string

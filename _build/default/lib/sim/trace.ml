@@ -1,0 +1,36 @@
+type entry = { at : Time.t; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  ring : entry option array;
+  mutable next : int; (* next write slot *)
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~at ~tag detail =
+  t.ring.(t.next) <- Some { at; tag; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let recordf t ~at ~tag fmt = Fmt.kstr (fun s -> record t ~at ~tag s) fmt
+
+let entries t =
+  let retained = Stdlib.min t.total t.capacity in
+  let start = (t.next - retained + t.capacity) mod t.capacity in
+  List.init retained (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let count t = t.total
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0

@@ -1,0 +1,29 @@
+(** Bounded structured trace ring.
+
+    Debugging a discrete-event system means asking "what happened just
+    before it went wrong". A trace ring records the last [capacity]
+    tagged messages with their timestamps at negligible cost, and tests
+    use it to assert event ordering without coupling to log output. *)
+
+type t
+
+type entry = { at : Time.t; tag : string; detail : string }
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096. Raises [Invalid_argument] if not positive. *)
+
+val record : t -> at:Time.t -> tag:string -> string -> unit
+
+val recordf :
+  t -> at:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is rendered eagerly. *)
+
+val entries : t -> entry list
+(** Oldest first, at most [capacity] entries. *)
+
+val find_all : t -> tag:string -> entry list
+
+val count : t -> int
+(** Total entries ever recorded (not just retained). *)
+
+val clear : t -> unit

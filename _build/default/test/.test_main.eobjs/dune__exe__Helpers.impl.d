@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cost_model Engine Host Kernel Pollmask Process Sio_kernel Sio_net Sio_sim Socket Wait_queue

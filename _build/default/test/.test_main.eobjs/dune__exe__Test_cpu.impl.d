@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu Engine List QCheck QCheck_alcotest Sio_kernel Sio_sim Time

@@ -1,0 +1,1 @@
+test/test_devpoll.ml: Alcotest Cost_model Cpu Devpoll Engine Gen Hashtbl Helpers Host List Poll Pollmask QCheck QCheck_alcotest Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine List QCheck QCheck_alcotest Sio_sim Time

@@ -1,0 +1,1 @@
+test/test_epoll.ml: Alcotest Cost_model Cpu Engine Epoll Gen Hashtbl Helpers Host List Poll Pollmask QCheck QCheck_alcotest Sio_kernel Sio_sim Socket Time

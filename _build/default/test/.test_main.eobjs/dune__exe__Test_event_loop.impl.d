@@ -1,0 +1,1 @@
+test/test_event_loop.ml: Alcotest Cost_model Engine Hashtbl Host List Pollmask Process Rt_signal Scalanio Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Event_queue Fun Hashtbl List QCheck QCheck_alcotest Sio_sim Time

@@ -1,0 +1,1 @@
+test/test_fd_set.ml: Alcotest Fd_set Hashtbl List QCheck QCheck_alcotest Sio_kernel Stdlib

@@ -1,0 +1,1 @@
+test/test_fd_table.ml: Alcotest Fd_table Hashtbl Helpers List QCheck QCheck_alcotest Sio_kernel

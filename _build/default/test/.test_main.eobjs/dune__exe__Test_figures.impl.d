@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Buffer Format List Scalanio Sio_loadgen String

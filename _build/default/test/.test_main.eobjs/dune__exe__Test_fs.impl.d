@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Cpu Fs Gen Helpers Host Kernel List Page_cache Printf QCheck QCheck_alcotest Sio_kernel Sio_sim Time

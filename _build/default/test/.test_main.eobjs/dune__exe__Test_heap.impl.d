@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap List Printf QCheck QCheck_alcotest Sio_sim

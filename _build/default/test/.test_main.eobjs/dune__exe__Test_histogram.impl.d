@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Gen Histogram List QCheck QCheck_alcotest Sio_sim Stdlib Time

@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Gen Http QCheck QCheck_alcotest Sio_httpd String

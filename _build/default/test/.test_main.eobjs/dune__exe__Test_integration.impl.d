@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Experiment List Metrics Printf Sio_kernel Sio_loadgen Workload

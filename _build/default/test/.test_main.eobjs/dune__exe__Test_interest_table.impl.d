@@ -1,0 +1,1 @@
+test/test_interest_table.ml: Alcotest Array Hashtbl Helpers Interest_table List Pollmask QCheck QCheck_alcotest Sio_kernel

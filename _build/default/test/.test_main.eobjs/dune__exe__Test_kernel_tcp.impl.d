@@ -1,0 +1,1 @@
+test/test_kernel_tcp.ml: Alcotest Cost_model Cpu Engine Helpers Host Kernel List Poll Pollmask Rt_signal Sio_kernel Sio_net Sio_sim Socket Tcp Time

@@ -1,0 +1,1 @@
+test/test_loadgen.ml: Alcotest Cost_model Engine Experiment Histogram Host Httperf Inactive Metrics Process Rng Sio_httpd Sio_kernel Sio_loadgen Sio_net Sio_sim Sweep Time Workload

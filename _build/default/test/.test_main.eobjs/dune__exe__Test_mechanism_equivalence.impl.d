@@ -1,0 +1,1 @@
+test/test_mechanism_equivalence.ml: Devpoll Engine Epoll Fd_set Hashtbl Helpers List Poll Pollmask Printf QCheck QCheck_alcotest Select Sio_kernel Sio_sim Socket String Time

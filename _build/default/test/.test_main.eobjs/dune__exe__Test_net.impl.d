@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Latency_profile Link Network Rng Sio_net Sio_sim Time

@@ -1,0 +1,1 @@
+test/test_poll.ml: Alcotest Cost_model Cpu Engine Hashtbl Helpers Host List Poll Pollmask Sio_kernel Sio_sim Socket Time

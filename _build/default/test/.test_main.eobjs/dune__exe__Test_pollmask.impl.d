@@ -1,0 +1,1 @@
+test/test_pollmask.ml: Alcotest Helpers List Pollmask Sio_kernel

@@ -1,0 +1,1 @@
+test/test_port_pool.ml: Alcotest Engine List Port_pool QCheck QCheck_alcotest Sio_loadgen Sio_sim Time

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer Experiment Format Histogram Metrics Report Sio_httpd Sio_kernel Sio_loadgen Sio_sim String Sweep Time

@@ -1,0 +1,1 @@
+test/test_rt_signal.ml: Alcotest Engine Gen Helpers Host List Pollmask QCheck QCheck_alcotest Rt_signal Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Float Gen List QCheck QCheck_alcotest Sampler Sio_sim Time

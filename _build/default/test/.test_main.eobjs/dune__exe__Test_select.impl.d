@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Cpu Engine Fd_set Fun Gen Hashtbl Helpers Host List Poll Pollmask QCheck QCheck_alcotest Select Sio_kernel Sio_sim Socket Time

@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Backend Cost_model Engine Host Http Hybrid List Phhttpd Printf Process Rng Server_stats Sio_httpd Sio_kernel Sio_loadgen Sio_net Sio_sim String Tcp Thttpd Time

@@ -1,0 +1,1 @@
+test/test_sock_buf.ml: Alcotest List QCheck QCheck_alcotest Sio_kernel Sock_buf

@@ -1,0 +1,1 @@
+test/test_socket.ml: Alcotest Helpers Host List Pollmask Sio_kernel Socket

@@ -1,0 +1,1 @@
+test/test_tcp_ordering.ml: Alcotest Engine Helpers Kernel List QCheck QCheck_alcotest Sio_kernel Sio_sim Tcp Time

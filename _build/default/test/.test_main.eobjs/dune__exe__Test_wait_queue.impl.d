@@ -1,0 +1,1 @@
+test/test_wait_queue.ml: Alcotest List Sio_kernel Wait_queue

@@ -1,0 +1,76 @@
+open Sio_sim
+open Sio_kernel
+
+let test_serializes_work () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine in
+  let t1 = Cpu.consume cpu (Time.ms 10) in
+  let t2 = Cpu.consume cpu (Time.ms 5) in
+  Alcotest.(check int) "first burst" (Time.ms 10) t1;
+  Alcotest.(check int) "second queues behind" (Time.ms 15) t2;
+  Alcotest.(check int) "busy_until" (Time.ms 15) (Cpu.busy_until cpu);
+  Alcotest.(check int) "total_busy" (Time.ms 15) (Cpu.total_busy cpu)
+
+let test_idle_gap () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine in
+  ignore (Engine.at engine (Time.ms 100) (fun () -> ()));
+  Engine.run engine;
+  (* CPU idle until t=100ms; new work starts at now, not at zero. *)
+  let t = Cpu.consume cpu (Time.ms 1) in
+  Alcotest.(check int) "starts at now" (Time.ms 101) t
+
+let test_run_schedules_completion () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine in
+  let fired_at = ref Time.zero in
+  Cpu.run cpu ~cost:(Time.ms 3) (fun () -> fired_at := Engine.now engine);
+  Cpu.run cpu ~cost:(Time.ms 4) (fun () -> ());
+  Engine.run engine;
+  Alcotest.(check int) "k at completion" (Time.ms 3) !fired_at
+
+let test_infinitely_fast () =
+  let engine = Engine.create () in
+  let cpu = Cpu.infinitely_fast ~engine in
+  let t = Cpu.consume cpu (Time.s 100) in
+  Alcotest.(check int) "instant" Time.zero t;
+  Alcotest.(check int) "no busy accumulation" Time.zero (Cpu.total_busy cpu)
+
+let test_negative_cost_rejected () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine in
+  Alcotest.check_raises "negative" (Invalid_argument "Cpu.consume: negative cost")
+    (fun () -> ignore (Cpu.consume cpu (-1)))
+
+let test_utilization () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine in
+  ignore (Cpu.consume cpu (Time.ms 500));
+  ignore (Engine.at engine (Time.s 1) (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Cpu.utilization cpu ~now:(Engine.now engine))
+
+let prop_fifo_order =
+  QCheck.Test.make ~name:"completion times are nondecreasing in submission order"
+    ~count:200
+    QCheck.(list (int_range 0 1_000_000))
+    (fun costs ->
+      let engine = Engine.create () in
+      let cpu = Cpu.create ~engine in
+      let times = List.map (fun c -> Cpu.consume cpu c) costs in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | [ _ ] | [] -> true
+      in
+      nondecreasing times)
+
+let suite =
+  [
+    Alcotest.test_case "serializes work" `Quick test_serializes_work;
+    Alcotest.test_case "idle gap" `Quick test_idle_gap;
+    Alcotest.test_case "run schedules continuation" `Quick test_run_schedules_completion;
+    Alcotest.test_case "infinitely fast CPU" `Quick test_infinitely_fast;
+    Alcotest.test_case "negative cost rejected" `Quick test_negative_cost_rejected;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    QCheck_alcotest.to_alcotest prop_fifo_order;
+  ]

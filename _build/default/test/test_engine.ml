@@ -1,0 +1,110 @@
+open Sio_sim
+
+let test_runs_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.at e (Time.ms 30) (note "c"));
+  ignore (Engine.at e (Time.ms 10) (note "a"));
+  ignore (Engine.at e (Time.ms 20) (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" (Time.ms 30) (Engine.now e)
+
+let test_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.at e (Time.ms 5) (note "first"));
+  ignore (Engine.at e (Time.ms 5) (note "second"));
+  ignore (Engine.at e (Time.ms 5) (note "third"));
+  Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ] (List.rev !log)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.at e (Time.ms 1) (fun () -> fired := true) in
+  Engine.cancel e h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_schedule_from_event () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.at e (Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.after e (Time.ms 2) (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "chained" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "final clock" (Time.ms 3) (Engine.now e)
+
+let test_past_scheduling_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.at e (Time.ms 10) (fun () -> ()));
+  Engine.run e;
+  let raised =
+    try
+      ignore (Engine.at e (Time.ms 5) (fun () -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "scheduling in the past raises" true raised
+
+let test_run_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.at e (Time.ms 10) (fun () -> fired := 10 :: !fired));
+  ignore (Engine.at e (Time.ms 20) (fun () -> fired := 20 :: !fired));
+  ignore (Engine.at e (Time.ms 30) (fun () -> fired := 30 :: !fired));
+  Engine.run ~until:(Time.ms 20) e;
+  Alcotest.(check (list int)) "only events <= horizon" [ 10; 20 ] (List.rev !fired);
+  Alcotest.(check int) "pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int)) "rest run later" [ 10; 20; 30 ] (List.rev !fired)
+
+let test_step () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.at e (Time.ms 1) (fun () -> incr count));
+  ignore (Engine.at e (Time.ms 2) (fun () -> incr count));
+  Alcotest.(check bool) "step 1" true (Engine.step e);
+  Alcotest.(check int) "one ran" 1 !count;
+  Alcotest.(check bool) "step 2" true (Engine.step e);
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  Alcotest.(check int) "executed counter" 2 (Engine.events_executed e)
+
+let test_after_relative () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore
+    (Engine.at e (Time.ms 10) (fun () ->
+         ignore (Engine.after e (Time.ms 5) (fun () -> seen := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check int) "after is relative to now" (Time.ms 15) !seen
+
+let prop_events_execute_sorted =
+  QCheck.Test.make ~name:"all scheduled events run in nondecreasing time order"
+    ~count:100
+    QCheck.(list (int_range 0 1_000_000))
+    (fun times ->
+      let e = Engine.create () in
+      let seen = ref [] in
+      List.iter (fun t -> ignore (Engine.at e t (fun () -> seen := t :: !seen))) times;
+      Engine.run e;
+      let seen = List.rev !seen in
+      List.length seen = List.length times && seen = List.sort compare times)
+
+let suite =
+  [
+    Alcotest.test_case "time ordering" `Quick test_runs_in_time_order;
+    Alcotest.test_case "FIFO at equal times" `Quick test_fifo_at_same_time;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "schedule from within event" `Quick test_schedule_from_event;
+    Alcotest.test_case "cannot schedule in the past" `Quick test_past_scheduling_rejected;
+    Alcotest.test_case "run ~until horizon" `Quick test_run_until_horizon;
+    Alcotest.test_case "single stepping" `Quick test_step;
+    Alcotest.test_case "after is relative" `Quick test_after_relative;
+    QCheck_alcotest.to_alcotest prop_events_execute_sorted;
+  ]

@@ -1,0 +1,141 @@
+(* Tests of the public Scalanio event loop across its three backends. *)
+
+open Sio_sim
+open Sio_kernel
+
+let mk_world () =
+  let engine = Engine.create ~seed:13 () in
+  let host = Host.create ~engine ~costs:Cost_model.zero () in
+  let proc = Process.create ~host ~name:"app" () in
+  (engine, host, proc)
+
+let install_sock proc host =
+  let s = Socket.create_established ~host in
+  match Process.install_socket proc s with
+  | Ok fd -> (fd, s)
+  | Error `Emfile -> Alcotest.fail "install failed"
+
+let backends =
+  [
+    ("poll", Scalanio.Event_loop.Poll);
+    ("devpoll", Scalanio.Event_loop.default_devpoll);
+    ("rtsig", Scalanio.Event_loop.Rt_signals { signo = Rt_signal.sigrtmin + 1; batch = 1 });
+  ]
+
+let test_dispatch_on_all_backends () =
+  List.iter
+    (fun (name, backend) ->
+      let engine, host, proc = mk_world () in
+      let fd, sock = install_sock proc host in
+      let loop =
+        match Scalanio.Event_loop.create ~proc ~backend with
+        | Ok l -> l
+        | Error `Emfile -> Alcotest.fail "loop create failed"
+      in
+      let fired = ref 0 in
+      Scalanio.Event_loop.watch loop ~fd ~events:Pollmask.pollin (fun mask ->
+          if Pollmask.intersects mask Pollmask.readable then begin
+            incr fired;
+            ignore (Socket.read_all sock)
+          end);
+      Scalanio.Event_loop.run loop;
+      ignore
+        (Engine.after engine (Time.ms 5) (fun () ->
+             ignore (Socket.deliver sock ~bytes_len:10 ~payload:"x")));
+      Engine.run ~until:(Time.ms 100) engine;
+      Alcotest.(check int) (name ^ ": callback fired once") 1 !fired;
+      Scalanio.Event_loop.stop loop)
+    backends
+
+let test_unwatch_stops_dispatch () =
+  let engine, host, proc = mk_world () in
+  let fd, sock = install_sock proc host in
+  let loop =
+    match Scalanio.Event_loop.create ~proc ~backend:Scalanio.Event_loop.default_devpoll with
+    | Ok l -> l
+    | Error `Emfile -> Alcotest.fail "create failed"
+  in
+  let fired = ref 0 in
+  Scalanio.Event_loop.watch loop ~fd ~events:Pollmask.pollin (fun _ -> incr fired);
+  Scalanio.Event_loop.unwatch loop fd;
+  Alcotest.(check int) "watched_count" 0 (Scalanio.Event_loop.watched_count loop);
+  Scalanio.Event_loop.run loop;
+  ignore (Socket.deliver sock ~bytes_len:4 ~payload:"");
+  Engine.run ~until:(Time.ms 50) engine;
+  Alcotest.(check int) "no dispatch" 0 !fired;
+  Scalanio.Event_loop.stop loop
+
+let test_timers () =
+  let engine, _, proc = mk_world () in
+  let loop =
+    match Scalanio.Event_loop.create ~proc ~backend:Scalanio.Event_loop.Poll with
+    | Ok l -> l
+    | Error `Emfile -> Alcotest.fail "create failed"
+  in
+  let once = ref 0 and ticks = ref 0 in
+  ignore (Scalanio.Event_loop.add_timer loop ~after:(Time.ms 10) (fun () -> incr once));
+  Scalanio.Event_loop.add_periodic loop ~every:(Time.ms 20) (fun () -> incr ticks);
+  Scalanio.Event_loop.run loop;
+  Engine.run ~until:(Time.ms 105) engine;
+  Alcotest.(check int) "one-shot" 1 !once;
+  Alcotest.(check int) "periodic ~5 ticks" 5 !ticks;
+  Scalanio.Event_loop.stop loop;
+  Engine.run ~until:(Time.ms 200) engine;
+  Alcotest.(check int) "periodic stops with loop" 5 !ticks
+
+let test_rtsig_overflow_recovery () =
+  let engine, host, proc =
+    let engine = Engine.create ~seed:13 () in
+    let host = Host.create ~engine ~costs:Cost_model.zero () in
+    let proc = Process.create ~host ~rt_queue_limit:3 ~name:"app" () in
+    (engine, host, proc)
+  in
+  let socks = List.init 6 (fun _ -> install_sock proc host) in
+  let loop =
+    match
+      Scalanio.Event_loop.create ~proc
+        ~backend:(Scalanio.Event_loop.Rt_signals { signo = Rt_signal.sigrtmin + 2; batch = 1 })
+    with
+    | Ok l -> l
+    | Error `Emfile -> Alcotest.fail "create failed"
+  in
+  let fired = Hashtbl.create 8 in
+  List.iter
+    (fun (fd, sock) ->
+      Scalanio.Event_loop.watch loop ~fd ~events:Pollmask.pollin (fun _ ->
+          Hashtbl.replace fired fd ();
+          ignore (Socket.read_all sock)))
+    socks;
+  Scalanio.Event_loop.run loop;
+  (* Burst: 6 edges into a queue of 3 -> overflow -> recovery poll must
+     still find and dispatch every ready descriptor. *)
+  ignore
+    (Engine.after engine (Time.ms 1) (fun () ->
+         List.iter (fun (_, s) -> ignore (Socket.deliver s ~bytes_len:8 ~payload:"")) socks));
+  Engine.run ~until:(Time.ms 200) engine;
+  Alcotest.(check int) "every socket dispatched" 6 (Hashtbl.length fired);
+  Alcotest.(check bool) "recovery happened" true
+    (Scalanio.Event_loop.overflow_recoveries loop >= 1);
+  Scalanio.Event_loop.stop loop
+
+let test_create_validation () =
+  let _, _, proc = mk_world () in
+  let raised =
+    try
+      ignore
+        (Scalanio.Event_loop.create ~proc
+           ~backend:(Scalanio.Event_loop.Rt_signals { signo = 5; batch = 1 }));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad signo rejected" true raised
+
+let suite =
+  [
+    Alcotest.test_case "dispatch on all backends" `Quick test_dispatch_on_all_backends;
+    Alcotest.test_case "unwatch stops dispatch" `Quick test_unwatch_stops_dispatch;
+    Alcotest.test_case "timers" `Quick test_timers;
+    Alcotest.test_case "RT overflow recovery loses nothing" `Quick
+      test_rtsig_overflow_recovery;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+  ]

@@ -1,0 +1,89 @@
+open Sio_sim
+
+let test_schedule_pop_due () =
+  let q = Event_queue.create () in
+  let fired = ref [] in
+  ignore (Event_queue.schedule q ~at:(Time.ms 5) (fun () -> fired := 5 :: !fired));
+  ignore (Event_queue.schedule q ~at:(Time.ms 2) (fun () -> fired := 2 :: !fired));
+  Alcotest.(check (option int)) "next_time" (Some (Time.ms 2)) (Event_queue.next_time q);
+  (match Event_queue.pop_due q ~now:(Time.ms 3) with
+  | Some action -> action ()
+  | None -> Alcotest.fail "expected due event");
+  Alcotest.(check (list int)) "earliest popped" [ 2 ] !fired;
+  Alcotest.(check bool) "later not due" true (Event_queue.pop_due q ~now:(Time.ms 3) = None)
+
+let test_negative_time_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Event_queue.schedule: negative time")
+    (fun () -> ignore (Event_queue.schedule q ~at:(-1) (fun () -> ())))
+
+let test_cancel_semantics () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.schedule q ~at:(Time.ms 1) (fun () -> ()) in
+  let h2 = Event_queue.schedule q ~at:(Time.ms 2) (fun () -> ()) in
+  Alcotest.(check int) "two live" 2 (Event_queue.length q);
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "one live" 1 (Event_queue.length q);
+  Alcotest.(check bool) "h1 not pending" false (Event_queue.is_pending q h1);
+  Alcotest.(check bool) "h2 pending" true (Event_queue.is_pending q h2);
+  (* Double cancel is a no-op; the count must not underflow. *)
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "still one" 1 (Event_queue.length q);
+  (* Cancelled head is skipped transparently. *)
+  Alcotest.(check (option int)) "next skips cancelled" (Some (Time.ms 2))
+    (Event_queue.next_time q)
+
+let prop_fifo_among_equal_times =
+  QCheck.Test.make ~name:"events at one instant pop in schedule order" ~count:100
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let q = Event_queue.create () in
+      let fired = ref [] in
+      for i = 0 to n - 1 do
+        ignore (Event_queue.schedule q ~at:(Time.ms 1) (fun () -> fired := i :: !fired))
+      done;
+      let rec drain () =
+        match Event_queue.pop_due q ~now:(Time.ms 1) with
+        | Some action ->
+            action ();
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !fired = List.init n Fun.id)
+
+let prop_cancel_never_fires =
+  QCheck.Test.make ~name:"cancelled events never pop" ~count:200
+    QCheck.(list (pair (int_bound 100) bool))
+    (fun specs ->
+      let q = Event_queue.create () in
+      let fired = Hashtbl.create 16 in
+      let handles =
+        List.mapi
+          (fun i (at, cancel) ->
+            let h = Event_queue.schedule q ~at (fun () -> Hashtbl.replace fired i ()) in
+            (h, cancel))
+          specs
+      in
+      List.iter (fun (h, cancel) -> if cancel then Event_queue.cancel q h) handles;
+      let rec drain () =
+        match Event_queue.pop_due q ~now:1000 with
+        | Some action ->
+            action ();
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.for_all2
+        (fun (_, cancelled) i -> if cancelled then not (Hashtbl.mem fired i) else Hashtbl.mem fired i)
+        handles
+        (List.init (List.length handles) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "schedule and pop_due" `Quick test_schedule_pop_due;
+    Alcotest.test_case "negative time rejected" `Quick test_negative_time_rejected;
+    Alcotest.test_case "cancel semantics" `Quick test_cancel_semantics;
+    QCheck_alcotest.to_alcotest prop_fifo_among_equal_times;
+    QCheck_alcotest.to_alcotest prop_cancel_never_fires;
+  ]

@@ -1,0 +1,85 @@
+open Sio_kernel
+
+let test_basic_ops () =
+  let s = Fd_set.create () in
+  Alcotest.(check bool) "empty" true (Fd_set.is_empty s);
+  Fd_set.set s 5;
+  Fd_set.set s 100;
+  Alcotest.(check bool) "mem 5" true (Fd_set.mem s 5);
+  Alcotest.(check bool) "mem 6" false (Fd_set.mem s 6);
+  Alcotest.(check int) "cardinal" 2 (Fd_set.cardinal s);
+  Alcotest.(check int) "max_fd" 100 (Fd_set.max_fd s);
+  Fd_set.clear s 100;
+  Alcotest.(check int) "max recomputed" 5 (Fd_set.max_fd s);
+  Fd_set.clear s 5;
+  Alcotest.(check int) "empty max" (-1) (Fd_set.max_fd s)
+
+let test_idempotent () =
+  let s = Fd_set.create () in
+  Fd_set.set s 7;
+  Fd_set.set s 7;
+  Alcotest.(check int) "set twice counts once" 1 (Fd_set.cardinal s);
+  Fd_set.clear s 7;
+  Fd_set.clear s 7;
+  Alcotest.(check int) "clear twice" 0 (Fd_set.cardinal s)
+
+let test_fd_setsize_wall () =
+  let s = Fd_set.create () in
+  Fd_set.set s (Fd_set.fd_setsize - 1);
+  Alcotest.(check bool) "1023 fits" true (Fd_set.mem s (Fd_set.fd_setsize - 1));
+  let raised = try Fd_set.set s Fd_set.fd_setsize; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "1024 rejected: the paper's wall" true raised;
+  let raised = try Fd_set.set s (-1); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative rejected" true raised
+
+let test_iter_ascending () =
+  let s = Fd_set.create () in
+  List.iter (Fd_set.set s) [ 63; 0; 64; 512; 62 ];
+  let seen = ref [] in
+  Fd_set.iter s (fun fd -> seen := fd :: !seen);
+  Alcotest.(check (list int)) "ascending" [ 0; 62; 63; 64; 512 ] (List.rev !seen)
+
+let test_copy_independent () =
+  let s = Fd_set.create () in
+  Fd_set.set s 3;
+  let c = Fd_set.copy s in
+  Fd_set.clear s 3;
+  Alcotest.(check bool) "copy unaffected" true (Fd_set.mem c 3)
+
+let test_clear_all () =
+  let s = Fd_set.create () in
+  List.iter (Fd_set.set s) [ 1; 2; 3 ];
+  Fd_set.clear_all s;
+  Alcotest.(check bool) "cleared" true (Fd_set.is_empty s)
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"fd_set behaves like a set of ints" ~count:300
+    QCheck.(list (pair bool (int_bound 1023)))
+    (fun ops ->
+      let s = Fd_set.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, fd) ->
+          if add then begin
+            Fd_set.set s fd;
+            Hashtbl.replace model fd ()
+          end
+          else begin
+            Fd_set.clear s fd;
+            Hashtbl.remove model fd
+          end)
+        ops;
+      Fd_set.cardinal s = Hashtbl.length model
+      && Hashtbl.fold (fun fd () acc -> acc && Fd_set.mem s fd) model true
+      && Fd_set.max_fd s = Hashtbl.fold (fun fd () m -> Stdlib.max fd m) model (-1))
+
+let suite =
+  [
+    Alcotest.test_case "basic operations" `Quick test_basic_ops;
+    Alcotest.test_case "idempotent set/clear" `Quick test_idempotent;
+    Alcotest.test_case "FD_SETSIZE wall" `Quick test_fd_setsize_wall;
+    Alcotest.test_case "iter ascending" `Quick test_iter_ascending;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "clear_all" `Quick test_clear_all;
+    QCheck_alcotest.to_alcotest prop_matches_model;
+  ]

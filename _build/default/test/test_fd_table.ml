@@ -1,0 +1,95 @@
+open Sio_kernel
+
+let test_lowest_free () =
+  let t = Fd_table.create () in
+  Alcotest.(check int) "first" 0 (Helpers.ok (Fd_table.alloc t "a"));
+  Alcotest.(check int) "second" 1 (Helpers.ok (Fd_table.alloc t "b"));
+  Alcotest.(check int) "third" 2 (Helpers.ok (Fd_table.alloc t "c"));
+  ignore (Fd_table.close t 1);
+  Alcotest.(check int) "reuses lowest" 1 (Helpers.ok (Fd_table.alloc t "d"));
+  Alcotest.(check int) "then next" 3 (Helpers.ok (Fd_table.alloc t "e"))
+
+let test_limit () =
+  let t = Fd_table.create ~limit:2 () in
+  ignore (Fd_table.alloc t "a");
+  ignore (Fd_table.alloc t "b");
+  (match Fd_table.alloc t "c" with
+  | Error `Emfile -> ()
+  | Ok _ -> Alcotest.fail "expected Emfile");
+  ignore (Fd_table.close t 0);
+  Alcotest.(check int) "slot freed" 0 (Helpers.ok (Fd_table.alloc t "c"))
+
+let test_find_set_close () =
+  let t = Fd_table.create () in
+  let fd = Helpers.ok (Fd_table.alloc t "x") in
+  Alcotest.(check (option string)) "find" (Some "x") (Fd_table.find t fd);
+  Fd_table.set t fd "y";
+  Alcotest.(check (option string)) "set replaced" (Some "y") (Fd_table.find t fd);
+  Alcotest.(check (option string)) "close returns" (Some "y") (Fd_table.close t fd);
+  Alcotest.(check (option string)) "gone" None (Fd_table.find t fd);
+  Alcotest.(check (option string)) "double close" None (Fd_table.close t fd)
+
+let test_set_on_closed_raises () =
+  let t = Fd_table.create () in
+  let raised = try Fd_table.set t 5 "x"; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "set on closed raises" true raised
+
+let test_find_exn () =
+  let t = Fd_table.create () in
+  let raised = try ignore (Fd_table.find_exn t 3); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "find_exn raises" true raised
+
+let test_count_iter_fold () =
+  let t = Fd_table.create () in
+  List.iter (fun v -> ignore (Fd_table.alloc t v)) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "count" 3 (Fd_table.count t);
+  let seen = ref 0 in
+  Fd_table.iter t (fun _ _ -> incr seen);
+  Alcotest.(check int) "iter" 3 !seen;
+  let total = Fd_table.fold t ~init:0 ~f:(fun acc fd _ -> acc + fd) in
+  Alcotest.(check int) "fold over fds" 3 total
+
+let test_invalid_limit () =
+  Alcotest.check_raises "limit 0"
+    (Invalid_argument "Fd_table.create: limit must be positive") (fun () ->
+      ignore (Fd_table.create ~limit:0 ()))
+
+let prop_lowest_free_invariant =
+  QCheck.Test.make ~name:"alloc always returns the lowest free fd" ~count:200
+    QCheck.(list (option (int_bound 30)))
+    (fun ops ->
+      (* [None] allocates; [Some fd] closes fd. Model with a set. *)
+      let t = Fd_table.create ~limit:64 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun op ->
+          match op with
+          | None -> (
+              match Fd_table.alloc t () with
+              | Ok fd ->
+                  let expected =
+                    let rec lowest i = if Hashtbl.mem model i then lowest (i + 1) else i in
+                    lowest 0
+                  in
+                  Hashtbl.replace model fd ();
+                  fd = expected
+              | Error `Emfile -> Hashtbl.length model >= 64)
+          | Some fd ->
+              let in_model = Hashtbl.mem model fd in
+              let closed = Fd_table.close t fd <> None in
+              Hashtbl.remove model fd;
+              in_model = closed)
+        ops
+      && Fd_table.count t = Hashtbl.length model)
+
+let suite =
+  [
+    Alcotest.test_case "lowest-free allocation" `Quick test_lowest_free;
+    Alcotest.test_case "limit and Emfile" `Quick test_limit;
+    Alcotest.test_case "find/set/close" `Quick test_find_set_close;
+    Alcotest.test_case "set on closed fd raises" `Quick test_set_on_closed_raises;
+    Alcotest.test_case "find_exn raises" `Quick test_find_exn;
+    Alcotest.test_case "count/iter/fold" `Quick test_count_iter_fold;
+    Alcotest.test_case "limit validated" `Quick test_invalid_limit;
+    QCheck_alcotest.to_alcotest prop_lowest_free_invariant;
+  ]

@@ -1,0 +1,65 @@
+(* Smoke tests of the figure harness itself: definitions are complete
+   and a tiny run produces sane series. *)
+
+let test_catalog_complete () =
+  let ids = Scalanio.Figures.ids () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n ids))
+    [ "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
+      "fig13"; "fig14"; "hybrid"; "hybrid-latency"; "lineage" ];
+  Alcotest.(check bool) "find works" true (Scalanio.Figures.find "fig10" <> None);
+  Alcotest.(check bool) "unknown misses" true (Scalanio.Figures.find "fig99" = None)
+
+let test_every_figure_has_expectation () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f.Scalanio.Figures.id ^ " has expectation")
+        true
+        (String.length f.Scalanio.Figures.paper_expectation > 20);
+      Alcotest.(check bool)
+        (f.Scalanio.Figures.id ^ " has series")
+        true
+        (f.Scalanio.Figures.series <> []);
+      Alcotest.(check bool)
+        (f.Scalanio.Figures.id ^ " has rates")
+        true
+        (f.Scalanio.Figures.rates <> []))
+    Scalanio.Figures.all
+
+let test_tiny_run_produces_series () =
+  match Scalanio.Figures.find "fig5" with
+  | None -> Alcotest.fail "fig5 missing"
+  | Some fig -> (
+      let series = Scalanio.Figures.run ~scale:0.01 ~rates:[ 600 ] fig in
+      match series with
+      | [ s ] -> (
+          Alcotest.(check string) "label kept" "thttpd+devpoll i=1" s.Sio_loadgen.Report.label;
+          match s.Sio_loadgen.Report.points with
+          | [ p ] ->
+              Alcotest.(check int) "rate" 600 p.Sio_loadgen.Sweep.rate;
+              Alcotest.(check bool) "replies happened" true
+                (p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+                   .Sio_loadgen.Metrics.completed > 0)
+          | _ -> Alcotest.fail "expected one point")
+      | _ -> Alcotest.fail "expected one series")
+
+let test_render_does_not_raise () =
+  match Scalanio.Figures.find "fig14" with
+  | None -> Alcotest.fail "fig14 missing"
+  | Some fig ->
+      let series = Scalanio.Figures.run ~scale:0.01 ~rates:[ 500 ] fig in
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      Scalanio.Figures.render ppf fig series;
+      Format.pp_print_flush ppf ();
+      Alcotest.(check bool) "rendered something" true (Buffer.length buf > 100)
+
+let suite =
+  [
+    Alcotest.test_case "catalog complete" `Quick test_catalog_complete;
+    Alcotest.test_case "expectations recorded" `Quick test_every_figure_has_expectation;
+    Alcotest.test_case "tiny run produces series" `Slow test_tiny_run_produces_series;
+    Alcotest.test_case "render" `Slow test_render_does_not_raise;
+  ]

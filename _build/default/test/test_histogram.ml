@@ -1,0 +1,110 @@
+open Sio_sim
+
+let test_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.check_raises "percentile raises" (Invalid_argument "Histogram.percentile: empty")
+    (fun () -> ignore (Histogram.median h))
+
+let test_single_value () =
+  let h = Histogram.create () in
+  Histogram.add h (Time.ms 5);
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  Alcotest.(check int) "min" (Time.ms 5) (Histogram.min_value h);
+  Alcotest.(check int) "max" (Time.ms 5) (Histogram.max_value h);
+  (* Median is the recorded value within relative resolution. *)
+  let med = Histogram.median h in
+  Alcotest.(check bool) "median close" true
+    (abs (med - Time.ms 5) <= Time.ms 5 / 16)
+
+let test_median_of_range () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (Time.us (i * 10))
+  done;
+  let med = Histogram.median h in
+  let expected = Time.us 5000 in
+  Alcotest.(check bool) "median near 5ms" true
+    (abs (med - expected) < expected / 10)
+
+let test_percentile_monotone () =
+  let h = Histogram.create () in
+  for i = 1 to 500 do
+    Histogram.add h (Time.us (i * 37))
+  done;
+  let p50 = Histogram.percentile h 50. in
+  let p90 = Histogram.percentile h 90. in
+  let p99 = Histogram.percentile h 99. in
+  Alcotest.(check bool) "p50<=p90" true (p50 <= p90);
+  Alcotest.(check bool) "p90<=p99" true (p90 <= p99);
+  Alcotest.(check bool) "p99<=max" true (p99 <= Histogram.max_value h)
+
+let test_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.add h (-5);
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  Alcotest.(check int) "min is 0" 0 (Histogram.min_value h)
+
+let test_out_of_range_percentile () =
+  let h = Histogram.create () in
+  Histogram.add h (Time.ms 1);
+  Alcotest.check_raises "p>100" (Invalid_argument "Histogram.percentile: p out of range")
+    (fun () -> ignore (Histogram.percentile h 101.))
+
+let test_mean () =
+  let h = Histogram.create () in
+  Histogram.add h (Time.ms 1);
+  Histogram.add h (Time.ms 3);
+  Alcotest.(check int) "mean" (Time.ms 2) (Histogram.mean h)
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a (Time.ms 1);
+  Histogram.add b (Time.ms 100);
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "count" 2 (Histogram.count a);
+  Alcotest.(check int) "max" (Time.ms 100) (Histogram.max_value a);
+  Alcotest.(check int) "min" (Time.ms 1) (Histogram.min_value a)
+
+let test_large_values () =
+  let h = Histogram.create () in
+  Histogram.add h (Time.s 120);
+  let med = Histogram.median h in
+  Alcotest.(check bool) "2 minutes representable" true
+    (abs (med - Time.s 120) < Time.s 120 / 10)
+
+let prop_percentile_within_bounds =
+  QCheck.Test.make ~name:"percentile within [0,max] and ~<=max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (int_range 0 100_000_000)) (int_range 0 100))
+    (fun (vs, p) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) vs;
+      let q = Histogram.percentile h (float_of_int p) in
+      q >= 0 && q <= Histogram.max_value h)
+
+let prop_median_relative_error =
+  QCheck.Test.make ~name:"median of constant stream ~= the constant" ~count:200
+    QCheck.(int_range 1 2_000_000_000)
+    (fun v ->
+      let h = Histogram.create () in
+      for _ = 1 to 10 do
+        Histogram.add h v
+      done;
+      let med = Histogram.median h in
+      (* within 4% relative or absolute resolution floor *)
+      abs (med - v) <= Stdlib.max (v / 25) 50_000)
+
+let suite =
+  [
+    Alcotest.test_case "empty histogram" `Quick test_empty;
+    Alcotest.test_case "single value" `Quick test_single_value;
+    Alcotest.test_case "median of uniform range" `Quick test_median_of_range;
+    Alcotest.test_case "percentiles monotone" `Quick test_percentile_monotone;
+    Alcotest.test_case "negative values clamp" `Quick test_negative_clamped;
+    Alcotest.test_case "percentile range check" `Quick test_out_of_range_percentile;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "large values" `Quick test_large_values;
+    QCheck_alcotest.to_alcotest prop_percentile_within_bounds;
+    QCheck_alcotest.to_alcotest prop_median_relative_error;
+  ]

@@ -1,0 +1,61 @@
+open Sio_httpd
+
+let test_build_request () =
+  let r = Http.build_request ~path:"/index.html" in
+  Alcotest.(check bool) "starts with GET" true (String.length r > 4 && String.sub r 0 4 = "GET ");
+  Alcotest.(check bool) "CRLFCRLF terminated" true
+    (String.sub r (String.length r - 4) 4 = "\r\n\r\n");
+  Alcotest.(check int) "request_bytes consistent" (String.length r)
+    (Http.request_bytes ~path:"/index.html")
+
+let test_is_complete () =
+  let r = Http.build_request ~path:"/" in
+  Alcotest.(check bool) "full request complete" true (Http.is_complete r);
+  Alcotest.(check bool) "prefix incomplete" false
+    (Http.is_complete (String.sub r 0 (String.length r / 2)));
+  Alcotest.(check bool) "empty incomplete" false (Http.is_complete "")
+
+let test_parse_request () =
+  let r = Http.build_request ~path:"/doc.html" in
+  match Http.parse_request r with
+  | Ok { meth; path } ->
+      Alcotest.(check string) "method" "GET" meth;
+      Alcotest.(check string) "path" "/doc.html" path
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_parse_incomplete () =
+  match Http.parse_request "GET / HT" with
+  | Error `Incomplete -> ()
+  | Ok _ | Error `Malformed -> Alcotest.fail "expected Incomplete"
+
+let test_parse_malformed () =
+  match Http.parse_request "NONSENSE\r\n\r\n" with
+  | Error `Malformed -> ()
+  | Ok _ | Error `Incomplete -> Alcotest.fail "expected Malformed"
+
+let test_response_sizes () =
+  let body = 6144 in
+  let head = Http.response_head_bytes ~body_bytes:body in
+  Alcotest.(check bool) "plausible header size" true (head > 50 && head < 200);
+  Alcotest.(check int) "total" (head + body) (Http.response_bytes ~body_bytes:body);
+  Alcotest.(check int) "paper document" 6144 Http.default_document_bytes
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"build/parse roundtrip on sane paths" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 1 30) (Gen.char_range 'a' 'z'))
+    (fun name ->
+      let path = "/" ^ name in
+      match Http.parse_request (Http.build_request ~path) with
+      | Ok { meth; path = p } -> meth = "GET" && p = path
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "build_request" `Quick test_build_request;
+    Alcotest.test_case "is_complete" `Quick test_is_complete;
+    Alcotest.test_case "parse_request" `Quick test_parse_request;
+    Alcotest.test_case "parse incomplete" `Quick test_parse_incomplete;
+    Alcotest.test_case "parse malformed" `Quick test_parse_malformed;
+    Alcotest.test_case "response sizes" `Quick test_response_sizes;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,169 @@
+(* Whole-experiment integration tests: run the benchmark pipeline at
+   reduced scale with the calibrated cost model and assert the
+   *qualitative shapes* of the paper's figures — who wins, where the
+   knees fall — plus determinism. These are the repository's
+   acceptance tests for the reproduction. *)
+
+open Sio_loadgen
+
+let devpoll = Experiment.Thttpd_devpoll { use_mmap = true; max_events = 64 }
+
+let run ~kind ~inactive ~rate ~conns =
+  let workload =
+    {
+      Workload.default with
+      Workload.request_rate = rate;
+      total_connections = conns;
+      inactive_connections = inactive;
+    }
+  in
+  Experiment.run (Experiment.default_config ~kind ~workload)
+
+let avg o = o.Experiment.metrics.Metrics.reply_rate_avg
+let err o = o.Experiment.metrics.Metrics.error_percent
+let med o = Metrics.median_latency_ms o.Experiment.metrics
+
+(* Fig 5/7/9: devpoll tracks the offered rate at every idle load. *)
+let test_devpoll_tracks_offered_rate () =
+  List.iter
+    (fun inactive ->
+      let o = run ~kind:devpoll ~inactive ~rate:900 ~conns:2700 in
+      Alcotest.(check bool)
+        (Printf.sprintf "devpoll i=%d tracks 900" inactive)
+        true
+        (avg o > 880. && err o < 1.0))
+    [ 1; 251; 501 ]
+
+(* Fig 4 vs 8: stock poll is fine at load 1 and collapses at load 501. *)
+let test_poll_collapses_with_idle_load () =
+  let light = run ~kind:Experiment.Thttpd_poll ~inactive:1 ~rate:900 ~conns:2700 in
+  let heavy = run ~kind:Experiment.Thttpd_poll ~inactive:501 ~rate:900 ~conns:2700 in
+  Alcotest.(check bool) "load 1 keeps up" true (avg light > 880.);
+  Alcotest.(check bool) "load 501 collapses" true (avg heavy < 500.);
+  Alcotest.(check bool) "load 501 errors" true (err heavy > 20.)
+
+(* Fig 10: the error-rate ordering. *)
+let test_error_ordering () =
+  let poll = run ~kind:Experiment.Thttpd_poll ~inactive:501 ~rate:1000 ~conns:3000 in
+  let dp = run ~kind:devpoll ~inactive:501 ~rate:1000 ~conns:3000 in
+  Alcotest.(check bool) "poll error rate high" true (err poll > 30.);
+  Alcotest.(check bool) "devpoll nearly error free" true (err dp < 2.);
+  Alcotest.(check bool) "ordering" true (err dp < err poll)
+
+(* Fig 8's starvation signature: minimum reply rate far below average. *)
+let test_poll_starves_under_overload () =
+  let o = run ~kind:Experiment.Thttpd_poll ~inactive:501 ~rate:1000 ~conns:3000 in
+  let m = o.Experiment.metrics in
+  Alcotest.(check bool) "min well below avg" true
+    (m.Metrics.reply_rate_min < 0.8 *. m.Metrics.reply_rate_avg);
+  Alcotest.(check bool) "jumpy max" true
+    (m.Metrics.reply_rate_max > 1.2 *. m.Metrics.reply_rate_avg)
+
+(* Fig 13: idle connections hurt phhttpd at every rate; devpoll wins. *)
+let test_phhttpd_idle_sensitivity () =
+  let low = run ~kind:Experiment.Phhttpd ~inactive:501 ~rate:500 ~conns:2000 in
+  let dp = run ~kind:devpoll ~inactive:501 ~rate:500 ~conns:2000 in
+  Alcotest.(check bool) "phhttpd degraded even at 500/s" true (avg low < 480.);
+  Alcotest.(check bool) "devpoll fine at 500/s" true (avg dp > 495.);
+  let hi = run ~kind:Experiment.Phhttpd ~inactive:501 ~rate:1000 ~conns:3000 in
+  Alcotest.(check bool) "phhttpd stays under ~550 at 1000/s" true (avg hi < 550.)
+
+(* Fig 11: phhttpd matches devpoll at low rates with load 1. *)
+let test_phhttpd_good_at_low_load () =
+  let o = run ~kind:Experiment.Phhttpd ~inactive:1 ~rate:700 ~conns:2100 in
+  Alcotest.(check bool) "tracks 700" true (avg o > 690. && err o < 1.0)
+
+(* Fig 14: latency ordering at 251 idle connections. *)
+let test_latency_crossover () =
+  (* Before the knee: phhttpd at or below devpoll, poll well above. *)
+  let ph = run ~kind:Experiment.Phhttpd ~inactive:251 ~rate:500 ~conns:2000 in
+  let dp = run ~kind:devpoll ~inactive:251 ~rate:500 ~conns:2000 in
+  let pl = run ~kind:Experiment.Thttpd_poll ~inactive:251 ~rate:500 ~conns:2000 in
+  Alcotest.(check bool) "phhttpd fastest at low rate" true (med ph <= med dp);
+  Alcotest.(check bool) "poll slowest" true (med pl > med dp);
+  (* Past the knee: phhttpd's median leaps by more than an order of
+     magnitude; devpoll stays steady. *)
+  let ph_hot = run ~kind:Experiment.Phhttpd ~inactive:251 ~rate:1000 ~conns:3000 in
+  let dp_hot = run ~kind:devpoll ~inactive:251 ~rate:1000 ~conns:3000 in
+  Alcotest.(check bool) "phhttpd median leaps" true (med ph_hot > 10. *. med ph);
+  Alcotest.(check bool) "devpoll stays steady" true (med dp_hot < 4. *. med dp)
+
+(* Extension: the hybrid beats phhttpd under overload. *)
+let test_hybrid_beats_phhttpd () =
+  let hy = run ~kind:Experiment.Hybrid ~inactive:501 ~rate:1000 ~conns:3000 in
+  let ph = run ~kind:Experiment.Phhttpd ~inactive:501 ~rate:1000 ~conns:3000 in
+  Alcotest.(check bool) "hybrid wins" true (avg hy > 1.5 *. avg ph)
+
+(* The ablation claims. *)
+let test_hints_reduce_driver_polls () =
+  let workload =
+    {
+      Workload.default with
+      Workload.request_rate = 700;
+      total_connections = 1400;
+      inactive_connections = 251;
+    }
+  in
+  let base = Experiment.default_config ~kind:devpoll ~workload in
+  let with_hints = Experiment.run base in
+  let without = Experiment.run { base with Experiment.hints = false } in
+  let dp o = o.Experiment.host_counters.Sio_kernel.Host.driver_polls in
+  Alcotest.(check bool) "hints cut driver polls by >5x" true
+    (dp without > 5 * dp with_hints);
+  Alcotest.(check bool) "hint skips recorded" true
+    (with_hints.Experiment.host_counters.Sio_kernel.Host.hint_skips > 0)
+
+(* Same seed, same numbers: the whole pipeline is deterministic. *)
+let test_determinism () =
+  let o1 = run ~kind:devpoll ~inactive:251 ~rate:800 ~conns:1600 in
+  let o2 = run ~kind:devpoll ~inactive:251 ~rate:800 ~conns:1600 in
+  Alcotest.(check (float 0.)) "avg identical" (avg o1) (avg o2);
+  Alcotest.(check (float 0.)) "err identical" (err o1) (err o2);
+  Alcotest.(check int) "replies identical" o1.Experiment.metrics.Metrics.completed
+    o2.Experiment.metrics.Metrics.completed;
+  Alcotest.(check int) "syscalls identical"
+    o1.Experiment.host_counters.Sio_kernel.Host.syscalls
+    o2.Experiment.host_counters.Sio_kernel.Host.syscalls
+
+let test_seed_changes_results () =
+  let workload =
+    {
+      Workload.default with
+      Workload.request_rate = 800;
+      total_connections = 1600;
+      inactive_connections = 251;
+    }
+  in
+  let base = Experiment.default_config ~kind:devpoll ~workload in
+  let o1 = Experiment.run base in
+  let o2 = Experiment.run { base with Experiment.seed = 1234 } in
+  (* Different idle-client latencies at least perturb the counters. *)
+  Alcotest.(check bool) "different seeds differ somewhere" true
+    (o1.Experiment.host_counters.Sio_kernel.Host.syscalls
+     <> o2.Experiment.host_counters.Sio_kernel.Host.syscalls
+    || o1.Experiment.metrics.Metrics.completed <> o2.Experiment.metrics.Metrics.completed
+    ||
+    let m1 = Metrics.median_latency_ms o1.Experiment.metrics in
+    let m2 = Metrics.median_latency_ms o2.Experiment.metrics in
+    abs_float (m1 -. m2) > 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "devpoll tracks offered rate (figs 5,7,9)" `Slow
+      test_devpoll_tracks_offered_rate;
+    Alcotest.test_case "poll collapses with idle load (figs 4,8)" `Slow
+      test_poll_collapses_with_idle_load;
+    Alcotest.test_case "error ordering (fig 10)" `Slow test_error_ordering;
+    Alcotest.test_case "poll starves under overload (fig 8)" `Slow
+      test_poll_starves_under_overload;
+    Alcotest.test_case "phhttpd idle sensitivity (fig 13)" `Slow
+      test_phhttpd_idle_sensitivity;
+    Alcotest.test_case "phhttpd good at low load (fig 11)" `Slow
+      test_phhttpd_good_at_low_load;
+    Alcotest.test_case "latency crossover (fig 14)" `Slow test_latency_crossover;
+    Alcotest.test_case "hybrid beats phhttpd (extension)" `Slow test_hybrid_beats_phhttpd;
+    Alcotest.test_case "hints reduce driver polls (ablation)" `Slow
+      test_hints_reduce_driver_polls;
+    Alcotest.test_case "deterministic runs" `Slow test_determinism;
+    Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_results;
+  ]

@@ -1,0 +1,74 @@
+open Sio_kernel
+
+let m = Helpers.mask
+
+let test_constants_distinct () =
+  let all =
+    [
+      Pollmask.pollin;
+      Pollmask.pollpri;
+      Pollmask.pollout;
+      Pollmask.pollerr;
+      Pollmask.pollhup;
+      Pollmask.pollnval;
+      Pollmask.pollremove;
+    ]
+  in
+  let ints = List.map Pollmask.to_int all in
+  let sorted = List.sort_uniq compare ints in
+  Alcotest.(check int) "all distinct" (List.length all) (List.length sorted);
+  List.iter
+    (fun i -> Alcotest.(check bool) "single bit" true (i land (i - 1) = 0))
+    ints
+
+let test_union_inter () =
+  let io = Pollmask.union Pollmask.pollin Pollmask.pollout in
+  Alcotest.check m "inter in" Pollmask.pollin (Pollmask.inter io Pollmask.pollin);
+  Alcotest.(check bool) "mem in" true (Pollmask.mem Pollmask.pollin io);
+  Alcotest.(check bool) "mem err" false (Pollmask.mem Pollmask.pollerr io);
+  Alcotest.(check bool) "intersects" true (Pollmask.intersects io Pollmask.pollout);
+  Alcotest.(check bool) "no intersect" false (Pollmask.intersects io Pollmask.pollerr)
+
+let test_diff () =
+  let io = Pollmask.union Pollmask.pollin Pollmask.pollout in
+  Alcotest.check m "diff removes" Pollmask.pollout (Pollmask.diff io Pollmask.pollin);
+  Alcotest.check m "diff of absent is id" io (Pollmask.diff io Pollmask.pollerr)
+
+let test_empty () =
+  Alcotest.(check bool) "empty is empty" true (Pollmask.is_empty Pollmask.empty);
+  Alcotest.(check bool) "in not empty" false (Pollmask.is_empty Pollmask.pollin);
+  Alcotest.(check bool) "mem on empty mask" false (Pollmask.mem Pollmask.pollin Pollmask.empty)
+
+let test_of_int_roundtrip () =
+  let io = Pollmask.union Pollmask.pollin Pollmask.pollhup in
+  Alcotest.check m "roundtrip" io (Pollmask.of_int (Pollmask.to_int io))
+
+let test_of_int_rejects_junk () =
+  Alcotest.check_raises "junk bits" (Invalid_argument "Pollmask.of_int: unknown bits")
+    (fun () -> ignore (Pollmask.of_int 0x4000))
+
+let test_pp () =
+  Alcotest.(check string) "empty prints 0" "0" (Pollmask.to_string Pollmask.empty);
+  Alcotest.(check string) "in|out" "IN|OUT"
+    (Pollmask.to_string (Pollmask.union Pollmask.pollin Pollmask.pollout));
+  Alcotest.(check string) "remove" "REMOVE" (Pollmask.to_string Pollmask.pollremove)
+
+let test_readable () =
+  Alcotest.(check bool) "pollin is readable" true
+    (Pollmask.intersects Pollmask.pollin Pollmask.readable);
+  Alcotest.(check bool) "pollpri is readable" true
+    (Pollmask.intersects Pollmask.pollpri Pollmask.readable);
+  Alcotest.(check bool) "pollout is not" false
+    (Pollmask.intersects Pollmask.pollout Pollmask.readable)
+
+let suite =
+  [
+    Alcotest.test_case "constants are distinct single bits" `Quick test_constants_distinct;
+    Alcotest.test_case "union/inter/mem" `Quick test_union_inter;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "of_int rejects junk" `Quick test_of_int_rejects_junk;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "readable set" `Quick test_readable;
+  ]

@@ -1,0 +1,69 @@
+open Sio_sim
+open Sio_loadgen
+
+let mk () =
+  let engine = Engine.create () in
+  (engine, Port_pool.create ~engine ~ports:3 ~time_wait:(Time.s 60))
+
+let test_acquire_release_cycle () =
+  let engine, p = mk () in
+  Alcotest.(check bool) "a1" true (Port_pool.acquire p);
+  Alcotest.(check bool) "a2" true (Port_pool.acquire p);
+  Alcotest.(check bool) "a3" true (Port_pool.acquire p);
+  Alcotest.(check bool) "exhausted" false (Port_pool.acquire p);
+  Alcotest.(check int) "in_use" 3 (Port_pool.in_use p);
+  Port_pool.release p;
+  (* TIME_WAIT: still quarantined. *)
+  Alcotest.(check bool) "still exhausted" false (Port_pool.acquire p);
+  Engine.run ~until:(Time.s 61) engine;
+  Alcotest.(check int) "released after quarantine" 2 (Port_pool.in_use p);
+  Alcotest.(check bool) "usable again" true (Port_pool.acquire p)
+
+let test_rst_skips_time_wait () =
+  let _, p = mk () in
+  ignore (Port_pool.acquire p);
+  Port_pool.release_immediately p;
+  Alcotest.(check int) "freed at once" 0 (Port_pool.in_use p)
+
+let test_validation () =
+  let engine = Engine.create () in
+  let raised =
+    try
+      ignore (Port_pool.create ~engine ~ports:0 ~time_wait:Time.zero);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "ports 0 rejected" true raised
+
+let prop_in_use_bounded =
+  QCheck.Test.make ~name:"in_use stays within [0, capacity]" ~count:200
+    QCheck.(list (int_bound 2))
+    (fun ops ->
+      let engine = Engine.create () in
+      let p = Port_pool.create ~engine ~ports:5 ~time_wait:(Time.ms 10) in
+      let held = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 -> if Port_pool.acquire p then incr held
+          | 1 ->
+              if !held > 0 then begin
+                Port_pool.release p;
+                decr held
+              end
+          | _ ->
+              if !held > 0 then begin
+                Port_pool.release_immediately p;
+                decr held
+              end)
+        ops;
+      Engine.run engine;
+      Port_pool.in_use p >= 0 && Port_pool.in_use p <= Port_pool.capacity p)
+
+let suite =
+  [
+    Alcotest.test_case "acquire/release with TIME_WAIT" `Quick test_acquire_release_cycle;
+    Alcotest.test_case "RST skips TIME_WAIT" `Quick test_rst_skips_time_wait;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_in_use_bounded;
+  ]

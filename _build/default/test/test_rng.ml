@@ -1,0 +1,96 @@
+open Sio_sim
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_split_independence () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  (* After splitting, drawing from the child must not equal drawing the
+     parent's next values. *)
+  let xs = List.init 10 (fun _ -> Rng.bits64 c) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 a) in
+  Alcotest.(check bool) "child differs from parent" true (xs <> ys)
+
+let test_int_bound_invalid () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_int_in_invalid () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "hi<lo" (Invalid_argument "Rng.int_in: hi < lo") (fun () ->
+      ignore (Rng.int_in r 5 4))
+
+let test_mean_of_uniform () =
+  let r = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_exponential_mean () =
+  let r = Rng.create ~seed:13 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.0) < 0.15)
+
+let test_shuffle_permutation () =
+  let r = Rng.create ~seed:17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Rng.int within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_int_in_inclusive =
+  QCheck.Test.make ~name:"Rng.int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, width) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int_in r lo (lo + width) in
+      v >= lo && v <= lo + width)
+
+let prop_pareto_at_least_scale =
+  QCheck.Test.make ~name:"pareto >= scale" ~count:300
+    QCheck.(pair small_int (float_range 0.5 5.0))
+    (fun (seed, scale) ->
+      let r = Rng.create ~seed in
+      Rng.pareto r ~shape:1.5 ~scale >= scale -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split gives fresh stream" `Quick test_split_independence;
+    Alcotest.test_case "int rejects bound 0" `Quick test_int_bound_invalid;
+    Alcotest.test_case "int_in rejects hi<lo" `Quick test_int_in_invalid;
+    Alcotest.test_case "uniform mean" `Slow test_mean_of_uniform;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_int_in_range;
+    QCheck_alcotest.to_alcotest prop_int_in_inclusive;
+    QCheck_alcotest.to_alcotest prop_pareto_at_least_scale;
+  ]

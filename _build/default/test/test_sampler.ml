@@ -1,0 +1,73 @@
+open Sio_sim
+
+let test_nothing_recorded () =
+  let s = Sampler.create ~interval:(Time.s 1) in
+  Alcotest.(check (list (float 0.))) "no rates" [] (Sampler.rates s ~until:(Time.s 10))
+
+let test_invalid_interval () =
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Sampler.create: non-positive interval") (fun () ->
+      ignore (Sampler.create ~interval:0))
+
+let test_single_interval_rate () =
+  let s = Sampler.create ~interval:(Time.s 1) in
+  for i = 1 to 100 do
+    Sampler.record s ~now:(Time.ms (i * 5))
+  done;
+  (* 100 events in the first second -> 100/s; only complete intervals
+     are reported. *)
+  match Sampler.rates s ~until:(Time.ms 1500) with
+  | [ r ] -> Alcotest.(check (float 1e-9)) "rate" 100.0 r
+  | l -> Alcotest.failf "expected one interval, got %d" (List.length l)
+
+let test_zero_intervals_reported () =
+  let s = Sampler.create ~interval:(Time.s 1) in
+  Sampler.record s ~now:(Time.ms 100);
+  (* burst in interval 0, silence during intervals 1 and 2 *)
+  Sampler.record s ~now:(Time.ms 200);
+  match Sampler.rates s ~until:(Time.add (Time.ms 100) (Time.s 3)) with
+  | [ a; b; c ] ->
+      Alcotest.(check (float 1e-9)) "burst interval" 2.0 a;
+      Alcotest.(check (float 1e-9)) "empty interval 1" 0.0 b;
+      Alcotest.(check (float 1e-9)) "empty interval 2" 0.0 c
+  | l -> Alcotest.failf "expected three intervals, got %d" (List.length l)
+
+let test_origin_at_first_event () =
+  let s = Sampler.create ~interval:(Time.s 1) in
+  (* first event at t=10s: intervals are anchored there *)
+  Sampler.record s ~now:(Time.s 10);
+  Sampler.record s ~now:(Time.ms 10_500);
+  match Sampler.rates s ~until:(Time.s 11) with
+  | [ r ] -> Alcotest.(check (float 1e-9)) "anchored" 2.0 r
+  | l -> Alcotest.failf "expected one interval, got %d" (List.length l)
+
+let test_record_n () =
+  let s = Sampler.create ~interval:(Time.ms 500) in
+  Sampler.record_n s ~now:Time.zero 50;
+  match Sampler.rates s ~until:(Time.ms 500) with
+  | [ r ] -> Alcotest.(check (float 1e-9)) "batched rate" 100.0 r
+  | l -> Alcotest.failf "expected one interval, got %d" (List.length l)
+
+let prop_total_preserved =
+  QCheck.Test.make ~name:"sum of interval counts = events recorded" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (int_range 0 10_000))
+    (fun offsets_ms ->
+      let offsets_ms = List.sort compare offsets_ms in
+      let s = Sampler.create ~interval:(Time.s 1) in
+      List.iter (fun o -> Sampler.record s ~now:(Time.ms o)) offsets_ms;
+      let until = Time.add (Time.ms (List.nth offsets_ms (List.length offsets_ms - 1))) (Time.s 1) in
+      let rates = Sampler.rates s ~until in
+      let total = List.fold_left (fun acc r -> acc +. r) 0. rates in
+      (* each rate is count/interval with interval = 1s *)
+      int_of_float (Float.round total) = List.length offsets_ms)
+
+let suite =
+  [
+    Alcotest.test_case "empty sampler" `Quick test_nothing_recorded;
+    Alcotest.test_case "interval validation" `Quick test_invalid_interval;
+    Alcotest.test_case "single interval" `Quick test_single_interval_rate;
+    Alcotest.test_case "zero intervals appear" `Quick test_zero_intervals_reported;
+    Alcotest.test_case "origin anchored at first event" `Quick test_origin_at_first_event;
+    Alcotest.test_case "record_n" `Quick test_record_n;
+    QCheck_alcotest.to_alcotest prop_total_preserved;
+  ]

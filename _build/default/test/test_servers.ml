@@ -1,0 +1,312 @@
+(* End-to-end server tests: each server implementation faces real
+   clients through the simulated network. Zero-cost kernel: these
+   check semantics (who replied, who timed out, which mode), not
+   performance. *)
+
+open Sio_sim
+open Sio_kernel
+open Sio_httpd
+
+type world = {
+  engine : Engine.t;
+  host : Host.t;
+  net : Sio_net.Network.t;
+  proc : Process.t;
+}
+
+let mk_world ?(costs = Cost_model.zero) () =
+  let engine = Engine.create ~seed:5 () in
+  let host = Host.create ~engine ~costs () in
+  let net = Sio_net.Network.create ~engine () in
+  let proc = Process.create ~host ~fd_limit:2048 ~name:"server" () in
+  { engine; host; net; proc }
+
+let quick_conn w listener =
+  (* One client fetching the default document; returns a getter for
+     the bytes received. *)
+  let received = ref 0 in
+  let expected = Http.response_bytes ~body_bytes:Http.default_document_bytes in
+  let request = Http.build_request ~path:"/index.html" in
+  let handlers =
+    {
+      Tcp.null_handlers with
+      Tcp.on_established =
+        (fun c ->
+          Tcp.client_send c ~bytes_len:(String.length request) ~payload:request);
+      on_bytes =
+        (fun c n ->
+          received := !received + n;
+          if !received >= expected then Tcp.client_close c);
+    }
+  in
+  ignore (Tcp.connect ~net:w.net ~listener ~handlers ());
+  fun () -> !received
+
+let expected_bytes = Http.response_bytes ~body_bytes:Http.default_document_bytes
+
+(* --- thttpd --- *)
+
+let thttpd_with backend_of w =
+  match Thttpd.start ~proc:w.proc ~backend:(backend_of w.proc) () with
+  | Ok t -> t
+  | Error `Emfile -> Alcotest.fail "thttpd start failed"
+
+let poll_backend proc = Backend.poll proc
+let select_backend proc = Backend.select proc
+let epoll_backend proc = Backend.epoll proc
+
+let devpoll_backend proc =
+  match Backend.devpoll proc with
+  | Ok b -> b
+  | Error `Emfile -> Alcotest.fail "devpoll open failed"
+
+let test_thttpd_serves backend_of () =
+  let w = mk_world () in
+  let t = thttpd_with backend_of w in
+  let got = quick_conn w (Thttpd.listener t) in
+  Engine.run ~until:(Time.s 1) w.engine;
+  Alcotest.(check int) "full response" expected_bytes (got ());
+  Alcotest.(check int) "one reply" 1 (Thttpd.stats t).Server_stats.replies;
+  Alcotest.(check int) "conn table drained" 0 (Thttpd.connection_count t);
+  Thttpd.stop t
+
+(* A client that dribbles its request in arbitrary chunks: the server
+   must accumulate until the terminator arrives, whatever the split. *)
+let test_thttpd_chunked_requests () =
+  let w = mk_world () in
+  let t = thttpd_with devpoll_backend w in
+  let request = Http.build_request ~path:"/index.html" in
+  let rng = Rng.create ~seed:77 in
+  let run_one () =
+    let received = ref 0 in
+    let expected = expected_bytes in
+    let handlers =
+      {
+        Tcp.null_handlers with
+        Tcp.on_established =
+          (fun c ->
+            (* Send in 1..5 random-sized chunks, spaced 1 ms apart. *)
+            let n = String.length request in
+            let rec cuts acc k =
+              if k = 0 then List.sort_uniq compare (0 :: n :: acc)
+              else cuts (Rng.int_in rng 1 (n - 1) :: acc) (k - 1)
+            in
+            let points = cuts [] (Rng.int_in rng 0 4) in
+            let rec send_pieces i = function
+              | a :: (b :: _ as rest) ->
+                  ignore
+                    (Engine.after w.engine (Time.ms i) (fun () ->
+                         Tcp.client_send c ~bytes_len:(b - a)
+                           ~payload:(String.sub request a (b - a))));
+                  send_pieces (i + 1) rest
+              | [ _ ] | [] -> ()
+            in
+            send_pieces 0 points);
+        on_bytes =
+          (fun c n ->
+            received := !received + n;
+            if !received >= expected then Tcp.client_close c);
+      }
+    in
+    ignore (Tcp.connect ~net:w.net ~listener:(Thttpd.listener t) ~handlers ());
+    fun () -> !received
+  in
+  let getters = List.init 20 (fun _ -> run_one ()) in
+  Engine.run ~until:(Time.s 2) w.engine;
+  List.iteri
+    (fun i got ->
+      Alcotest.(check int) (Printf.sprintf "chunked conn %d" i) expected_bytes (got ()))
+    getters;
+  Thttpd.stop t
+
+let test_thttpd_many_conns () =
+  let w = mk_world () in
+  let t = thttpd_with devpoll_backend w in
+  let getters = List.init 50 (fun _ -> quick_conn w (Thttpd.listener t)) in
+  Engine.run ~until:(Time.s 2) w.engine;
+  List.iteri
+    (fun i got -> Alcotest.(check int) (Printf.sprintf "conn %d" i) expected_bytes (got ()))
+    getters;
+  Alcotest.(check int) "replies" 50 (Thttpd.stats t).Server_stats.replies;
+  Thttpd.stop t
+
+let test_thttpd_idle_sweep () =
+  let w = mk_world () in
+  let config =
+    { Thttpd.default_config with Thttpd.idle_timeout = Time.s 2; sweep_period = Time.s 1 }
+  in
+  let t =
+    match Thttpd.start ~proc:w.proc ~backend:(devpoll_backend w.proc) ~config () with
+    | Ok t -> t
+    | Error `Emfile -> Alcotest.fail "start failed"
+  in
+  (* A client that sends half a request and goes quiet. *)
+  let fin = ref false in
+  let handlers =
+    {
+      Tcp.null_handlers with
+      Tcp.on_established = (fun c -> Tcp.client_send c ~bytes_len:10 ~payload:"GET /index");
+      on_server_fin = (fun _ -> fin := true);
+    }
+  in
+  ignore (Tcp.connect ~net:w.net ~listener:(Thttpd.listener t) ~handlers ());
+  Engine.run ~until:(Time.s 6) w.engine;
+  Alcotest.(check bool) "server timed the idle conn out" true !fin;
+  Alcotest.(check int) "counted" 1 (Thttpd.stats t).Server_stats.timed_out_conns;
+  Alcotest.(check int) "no reply" 0 (Thttpd.stats t).Server_stats.replies;
+  Thttpd.stop t
+
+let test_thttpd_client_abort () =
+  let w = mk_world () in
+  let t = thttpd_with devpoll_backend w in
+  let conn = ref None in
+  let handlers =
+    { Tcp.null_handlers with Tcp.on_established = (fun c -> conn := Some c) }
+  in
+  ignore (Tcp.connect ~net:w.net ~listener:(Thttpd.listener t) ~handlers ());
+  Engine.run ~until:(Time.ms 10) w.engine;
+  (match !conn with Some c -> Tcp.client_abort c | None -> Alcotest.fail "no conn");
+  Engine.run ~until:(Time.s 1) w.engine;
+  Alcotest.(check int) "dropped" 1 (Thttpd.stats t).Server_stats.dropped_conns;
+  Alcotest.(check int) "conn table drained" 0 (Thttpd.connection_count t);
+  Thttpd.stop t
+
+(* --- phhttpd --- *)
+
+let test_phhttpd_serves () =
+  let w = mk_world () in
+  let t =
+    match Phhttpd.start ~proc:w.proc () with
+    | Ok t -> t
+    | Error `Emfile -> Alcotest.fail "phhttpd start failed"
+  in
+  let got = quick_conn w (Phhttpd.listener t) in
+  Engine.run ~until:(Time.s 1) w.engine;
+  Alcotest.(check int) "full response" expected_bytes (got ());
+  Alcotest.(check bool) "still in signal mode" true (Phhttpd.mode t = Phhttpd.Signals);
+  (* The close of the served connection leaves one stale signal, which
+     the server must absorb without confusion. *)
+  Engine.run ~until:(Time.s 2) w.engine;
+  Alcotest.(check int) "one reply" 1 (Phhttpd.stats t).Server_stats.replies;
+  Phhttpd.stop t
+
+let test_phhttpd_overflow_switches_to_polling () =
+  let w = mk_world () in
+  (* Tiny RT queue so a burst of connections overflows it. *)
+  let proc = Process.create ~host:w.host ~rt_queue_limit:8 ~name:"ph" () in
+  let t =
+    match Phhttpd.start ~proc () with
+    | Ok t -> t
+    | Error `Emfile -> Alcotest.fail "start failed"
+  in
+  let getters = List.init 40 (fun _ -> quick_conn w (Phhttpd.listener t)) in
+  Engine.run ~until:(Time.s 3) w.engine;
+  Alcotest.(check bool) "switched to polling" true (Phhttpd.mode t = Phhttpd.Polling);
+  Alcotest.(check bool) "overflow recovery counted" true
+    ((Phhttpd.stats t).Server_stats.overflow_recoveries >= 1);
+  (* Recovery must not lose connections: everyone is eventually served. *)
+  List.iteri
+    (fun i got ->
+      Alcotest.(check int) (Printf.sprintf "conn %d served" i) expected_bytes (got ()))
+    getters;
+  (* And it never returns to signal mode (Brown never implemented it). *)
+  let g = quick_conn w (Phhttpd.listener t) in
+  Engine.run ~until:(Time.s 4) w.engine;
+  Alcotest.(check int) "post-recovery service works" expected_bytes (g ());
+  Alcotest.(check bool) "still polling" true (Phhttpd.mode t = Phhttpd.Polling);
+  (* The descriptors physically moved: the signal worker's table is
+     empty (it kept nothing) and the sibling owns the listener plus any
+     remaining connections. *)
+  Alcotest.(check bool) "handoff finished" false (Phhttpd.is_handing_off t);
+  Alcotest.(check int) "signal worker's table empty" 0 (Process.open_fd_count proc);
+  Alcotest.(check bool) "sibling owns the descriptors" true
+    (Process.open_fd_count (Phhttpd.sibling t) >= 1);
+  Phhttpd.stop t
+
+let test_phhttpd_counts_stale_events () =
+  let w = mk_world () in
+  let t =
+    match Phhttpd.start ~proc:w.proc () with
+    | Ok t -> t
+    | Error `Emfile -> Alcotest.fail "start failed"
+  in
+  let (_ : unit -> int) = quick_conn w (Phhttpd.listener t) in
+  Engine.run ~until:(Time.s 2) w.engine;
+  (* The POLLNVAL edge queued at close names a dead descriptor. *)
+  Alcotest.(check bool) "stale events seen" true
+    ((Phhttpd.stats t).Server_stats.stale_events >= 1);
+  Phhttpd.stop t
+
+(* --- hybrid --- *)
+
+let test_hybrid_serves_in_signal_mode () =
+  let w = mk_world () in
+  let t =
+    match Hybrid.start ~proc:w.proc () with
+    | Ok t -> t
+    | Error `Emfile -> Alcotest.fail "hybrid start failed"
+  in
+  let got = quick_conn w (Hybrid.listener t) in
+  Engine.run ~until:(Time.s 1) w.engine;
+  Alcotest.(check int) "served" expected_bytes (got ());
+  Alcotest.(check bool) "signal mode at light load" true (Hybrid.mode t = Hybrid.Signals);
+  Hybrid.stop t
+
+let test_hybrid_overflow_recovers_and_returns () =
+  (* Under a genuine overload (real cost model, offered rate beyond the
+     host's capacity) the hybrid must shift to polling and come back
+     once the storm passes. *)
+  let w = mk_world ~costs:Cost_model.default () in
+  let t =
+    match Hybrid.start ~proc:w.proc () with
+    | Ok t -> t
+    | Error `Emfile -> Alcotest.fail "start failed"
+  in
+  let workload =
+    {
+      Sio_loadgen.Workload.default with
+      Sio_loadgen.Workload.request_rate = 1400;
+      total_connections = 4200;
+      inactive_connections = 0;
+    }
+  in
+  let _client =
+    Sio_loadgen.Httperf.start ~engine:w.engine ~net:w.net ~listener:(Hybrid.listener t)
+      ~workload ()
+  in
+  Engine.run ~until:(Time.s 12) w.engine;
+  Alcotest.(check bool) "switched at least twice (to polling and back)" true
+    ((Hybrid.stats t).Server_stats.mode_switches >= 2);
+  Alcotest.(check bool) "returned to signal mode when load subsided" true
+    (Hybrid.mode t = Hybrid.Signals);
+  Alcotest.(check bool) "served the bulk of the storm" true
+    ((Hybrid.stats t).Server_stats.replies > 3000);
+  Hybrid.stop t
+
+let suite =
+  [
+    Alcotest.test_case "thttpd+poll serves a request" `Quick
+      (test_thttpd_serves poll_backend);
+    Alcotest.test_case "thttpd+devpoll serves a request" `Quick
+      (test_thttpd_serves devpoll_backend);
+    Alcotest.test_case "thttpd+select serves a request" `Quick
+      (test_thttpd_serves select_backend);
+    Alcotest.test_case "thttpd+epoll serves a request" `Quick
+      (test_thttpd_serves epoll_backend);
+    Alcotest.test_case "thttpd handles chunked requests" `Quick
+      test_thttpd_chunked_requests;
+    Alcotest.test_case "thttpd serves 50 concurrent connections" `Quick
+      test_thttpd_many_conns;
+    Alcotest.test_case "thttpd idle sweep times out silent clients" `Quick
+      test_thttpd_idle_sweep;
+    Alcotest.test_case "thttpd client abort" `Quick test_thttpd_client_abort;
+    Alcotest.test_case "phhttpd serves via RT signals" `Quick test_phhttpd_serves;
+    Alcotest.test_case "phhttpd overflow switches to polling forever" `Quick
+      test_phhttpd_overflow_switches_to_polling;
+    Alcotest.test_case "phhttpd tolerates stale signals" `Quick
+      test_phhttpd_counts_stale_events;
+    Alcotest.test_case "hybrid serves in signal mode" `Quick
+      test_hybrid_serves_in_signal_mode;
+    Alcotest.test_case "hybrid recovers from overflow and switches back" `Quick
+      test_hybrid_overflow_recovers_and_returns;
+  ]

@@ -1,0 +1,61 @@
+open Sio_kernel
+
+let test_push_drain () =
+  let b = Sock_buf.create ~capacity:100 in
+  Alcotest.(check int) "accepts all" 60 (Sock_buf.push b 60);
+  Alcotest.(check int) "level" 60 (Sock_buf.level b);
+  Alcotest.(check int) "space" 40 (Sock_buf.space b);
+  Alcotest.(check int) "partial accept" 40 (Sock_buf.push b 60);
+  Alcotest.(check bool) "full" true (Sock_buf.is_full b);
+  Alcotest.(check int) "drain partial" 30 (Sock_buf.drain b 30);
+  Alcotest.(check int) "level after" 70 (Sock_buf.level b);
+  Alcotest.(check int) "drain_all" 70 (Sock_buf.drain_all b);
+  Alcotest.(check bool) "empty" true (Sock_buf.is_empty b)
+
+let test_drain_more_than_level () =
+  let b = Sock_buf.create ~capacity:10 in
+  ignore (Sock_buf.push b 4);
+  Alcotest.(check int) "drain clamps" 4 (Sock_buf.drain b 100)
+
+let test_validation () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Sock_buf.create: capacity must be positive") (fun () ->
+      ignore (Sock_buf.create ~capacity:0));
+  let b = Sock_buf.create ~capacity:1 in
+  Alcotest.check_raises "negative push" (Invalid_argument "Sock_buf.push: negative size")
+    (fun () -> ignore (Sock_buf.push b (-1)));
+  Alcotest.check_raises "negative drain" (Invalid_argument "Sock_buf.drain: negative size")
+    (fun () -> ignore (Sock_buf.drain b (-1)))
+
+let prop_level_bounded =
+  QCheck.Test.make ~name:"buffer level stays within [0, capacity]" ~count:300
+    QCheck.(pair (int_range 1 1000) (list (pair bool (int_bound 500))))
+    (fun (cap, ops) ->
+      let b = Sock_buf.create ~capacity:cap in
+      List.for_all
+        (fun (push, n) ->
+          if push then ignore (Sock_buf.push b n) else ignore (Sock_buf.drain b n);
+          Sock_buf.level b >= 0 && Sock_buf.level b <= cap)
+        ops)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"bytes in = bytes out + level" ~count:300
+    QCheck.(list (pair bool (int_bound 200)))
+    (fun ops ->
+      let b = Sock_buf.create ~capacity:512 in
+      let pushed = ref 0 and drained = ref 0 in
+      List.iter
+        (fun (push, n) ->
+          if push then pushed := !pushed + Sock_buf.push b n
+          else drained := !drained + Sock_buf.drain b n)
+        ops;
+      !pushed = !drained + Sock_buf.level b)
+
+let suite =
+  [
+    Alcotest.test_case "push and drain" `Quick test_push_drain;
+    Alcotest.test_case "drain clamps to level" `Quick test_drain_more_than_level;
+    Alcotest.test_case "argument validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_level_bounded;
+    QCheck_alcotest.to_alcotest prop_conservation;
+  ]

@@ -1,0 +1,79 @@
+open Sio_sim
+
+let feps = Alcotest.float 1e-9
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.check feps "mean" 0. (Stats.mean s);
+  Alcotest.check feps "variance" 0. (Stats.variance s);
+  Alcotest.(check bool) "min" true (Stats.min s = infinity);
+  Alcotest.(check bool) "max" true (Stats.max s = neg_infinity)
+
+let test_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.check feps "mean" 5.0 (Stats.mean s);
+  Alcotest.check (Alcotest.float 1e-6) "variance (sample)" (32. /. 7.) (Stats.variance s);
+  Alcotest.check feps "min" 2. (Stats.min s);
+  Alcotest.check feps "max" 9. (Stats.max s);
+  Alcotest.check feps "sum" 40. (Stats.sum s)
+
+let test_single_sample () =
+  let s = Stats.create () in
+  Stats.add s 3.5;
+  Alcotest.check feps "mean" 3.5 (Stats.mean s);
+  Alcotest.check feps "variance" 0. (Stats.variance s);
+  Alcotest.check feps "stddev" 0. (Stats.stddev s)
+
+let test_merge_matches_concat () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.; 2.; 3.; 10.; 20. ] and ys = [ 4.; 5.; 6.; 7. ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count m);
+  Alcotest.check (Alcotest.float 1e-9) "mean" (Stats.mean whole) (Stats.mean m);
+  Alcotest.check (Alcotest.float 1e-9) "variance" (Stats.variance whole) (Stats.variance m);
+  Alcotest.check feps "min" (Stats.min whole) (Stats.min m);
+  Alcotest.check feps "max" (Stats.max whole) (Stats.max m)
+
+let test_merge_with_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.; 2. ];
+  let m1 = Stats.merge a b and m2 = Stats.merge b a in
+  Alcotest.(check int) "a+empty count" 2 (Stats.count m1);
+  Alcotest.(check int) "empty+a count" 2 (Stats.count m2);
+  Alcotest.check feps "mean preserved" 1.5 (Stats.mean m1)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"merge is symmetric in count/mean" ~count:200
+    QCheck.(pair (list (float_bound_exclusive 100.)) (list (float_bound_exclusive 100.)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      let m1 = Stats.merge a b and m2 = Stats.merge b a in
+      Stats.count m1 = Stats.count m2
+      && abs_float (Stats.mean m1 -. Stats.mean m2) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "empty stats" `Quick test_empty;
+    Alcotest.test_case "known dataset" `Quick test_known_values;
+    Alcotest.test_case "single sample" `Quick test_single_sample;
+    Alcotest.test_case "merge equals concat" `Quick test_merge_matches_concat;
+    Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+    QCheck_alcotest.to_alcotest prop_mean_bounds;
+    QCheck_alcotest.to_alcotest prop_merge_commutes;
+  ]

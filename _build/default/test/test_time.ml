@@ -1,0 +1,41 @@
+open Sio_sim
+
+let test_units () =
+  Alcotest.(check int) "us" 1_000 (Time.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Time.ms 1);
+  Alcotest.(check int) "s" 1_000_000_000 (Time.s 1);
+  Alcotest.(check int) "ns" 17 (Time.ns 17)
+
+let test_conversions () =
+  Alcotest.(check (float 1e-9)) "to_sec" 1.5 (Time.to_sec_f (Time.ms 1500));
+  Alcotest.(check (float 1e-9)) "to_ms" 2.5 (Time.to_ms_f (Time.us 2500));
+  Alcotest.(check (float 1e-9)) "to_us" 0.5 (Time.to_us_f (Time.ns 500));
+  Alcotest.(check int) "of_sec_f" (Time.ms 250) (Time.of_sec_f 0.25)
+
+let test_of_sec_f_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Time.of_sec_f: negative or NaN")
+    (fun () -> ignore (Time.of_sec_f (-1.0)));
+  Alcotest.check_raises "nan" (Invalid_argument "Time.of_sec_f: negative or NaN")
+    (fun () -> ignore (Time.of_sec_f Float.nan))
+
+let test_arith () =
+  Alcotest.(check int) "add" (Time.ms 3) (Time.add (Time.ms 1) (Time.ms 2));
+  Alcotest.(check int) "sub" (Time.ms 1) (Time.sub (Time.ms 3) (Time.ms 2));
+  Alcotest.(check int) "mul" (Time.ms 6) (Time.mul (Time.ms 2) 3);
+  Alcotest.(check int) "div" (Time.ms 2) (Time.div (Time.ms 6) 3);
+  Alcotest.(check bool) "is_negative" true (Time.is_negative (Time.sub Time.zero (Time.ns 1)))
+
+let test_pp () =
+  Alcotest.(check string) "ns" "999ns" (Time.to_string (Time.ns 999));
+  Alcotest.(check string) "us" "42.0us" (Time.to_string (Time.us 42));
+  Alcotest.(check string) "ms" "1.50ms" (Time.to_string (Time.us 1500));
+  Alcotest.(check string) "s" "2.000s" (Time.to_string (Time.s 2))
+
+let suite =
+  [
+    Alcotest.test_case "unit constructors" `Quick test_units;
+    Alcotest.test_case "float conversions" `Quick test_conversions;
+    Alcotest.test_case "of_sec_f rejects bad input" `Quick test_of_sec_f_invalid;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

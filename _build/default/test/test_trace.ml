@@ -1,0 +1,58 @@
+open Sio_sim
+
+let test_basic_recording () =
+  let t = Trace.create () in
+  Trace.record t ~at:(Time.ms 1) ~tag:"a" "one";
+  Trace.record t ~at:(Time.ms 2) ~tag:"b" "two";
+  match Trace.entries t with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "tag1" "a" e1.Trace.tag;
+      Alcotest.(check string) "detail2" "two" e2.Trace.detail;
+      Alcotest.(check int) "time order" (Time.ms 1) e1.Trace.at
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
+
+let test_ring_overwrites_oldest () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~at:(Time.ms i) ~tag:"t" (string_of_int i)
+  done;
+  let details = List.map (fun e -> e.Trace.detail) (Trace.entries t) in
+  Alcotest.(check (list string)) "last three retained" [ "3"; "4"; "5" ] details;
+  Alcotest.(check int) "total count" 5 (Trace.count t)
+
+let test_find_all () =
+  let t = Trace.create () in
+  Trace.record t ~at:Time.zero ~tag:"x" "1";
+  Trace.record t ~at:Time.zero ~tag:"y" "2";
+  Trace.record t ~at:Time.zero ~tag:"x" "3";
+  let xs = Trace.find_all t ~tag:"x" in
+  Alcotest.(check int) "two x entries" 2 (List.length xs)
+
+let test_recordf () =
+  let t = Trace.create () in
+  Trace.recordf t ~at:Time.zero ~tag:"fmt" "fd=%d events=%s" 7 "IN";
+  match Trace.entries t with
+  | [ e ] -> Alcotest.(check string) "formatted" "fd=7 events=IN" e.Trace.detail
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+
+let test_clear () =
+  let t = Trace.create () in
+  Trace.record t ~at:Time.zero ~tag:"a" "x";
+  Trace.clear t;
+  Alcotest.(check int) "count reset" 0 (Trace.count t);
+  Alcotest.(check int) "entries empty" 0 (List.length (Trace.entries t))
+
+let test_capacity_validation () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "records entries" `Quick test_basic_recording;
+    Alcotest.test_case "ring overwrite" `Quick test_ring_overwrites_oldest;
+    Alcotest.test_case "find_all filters by tag" `Quick test_find_all;
+    Alcotest.test_case "recordf formats" `Quick test_recordf;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "capacity validated" `Quick test_capacity_validation;
+  ]

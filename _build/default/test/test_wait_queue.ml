@@ -1,0 +1,64 @@
+open Sio_kernel
+
+let test_wake_all () =
+  let q = Wait_queue.create () in
+  let a = ref 0 and b = ref 0 in
+  Wait_queue.register q a;
+  Wait_queue.register q b;
+  let woken = Wait_queue.wake q ~policy:Wait_queue.Wake_all (fun r -> incr r) in
+  Alcotest.(check int) "two woken" 2 woken;
+  Alcotest.(check int) "a" 1 !a;
+  Alcotest.(check int) "b" 1 !b;
+  Alcotest.(check bool) "drained" true (Wait_queue.is_empty q)
+
+let test_wake_one_fifo () =
+  let q = Wait_queue.create () in
+  let order = ref [] in
+  let a = "a" and b = "b" in
+  Wait_queue.register q a;
+  Wait_queue.register q b;
+  let _ = Wait_queue.wake q ~policy:Wait_queue.Wake_one (fun w -> order := w :: !order) in
+  let _ = Wait_queue.wake q ~policy:Wait_queue.Wake_one (fun w -> order := w :: !order) in
+  Alcotest.(check (list string)) "FIFO order" [ "a"; "b" ] (List.rev !order)
+
+let test_wake_empty () =
+  let q : unit ref Wait_queue.t = Wait_queue.create () in
+  Alcotest.(check int) "none woken (all)" 0
+    (Wait_queue.wake q ~policy:Wait_queue.Wake_all (fun _ -> ()));
+  Alcotest.(check int) "none woken (one)" 0
+    (Wait_queue.wake q ~policy:Wait_queue.Wake_one (fun _ -> ()))
+
+let test_unregister () =
+  let q = Wait_queue.create () in
+  let a = ref 0 and b = ref 0 in
+  Wait_queue.register q a;
+  Wait_queue.register q b;
+  Alcotest.(check bool) "removed" true (Wait_queue.unregister q a);
+  Alcotest.(check bool) "already gone" false (Wait_queue.unregister q a);
+  let _ = Wait_queue.wake q ~policy:Wait_queue.Wake_all (fun r -> incr r) in
+  Alcotest.(check int) "a not woken" 0 !a;
+  Alcotest.(check int) "b woken" 1 !b
+
+let test_unregister_removes_one_entry () =
+  let q = Wait_queue.create () in
+  let a = ref 0 in
+  Wait_queue.register q a;
+  Wait_queue.register q a;
+  Alcotest.(check bool) "first removal" true (Wait_queue.unregister q a);
+  Alcotest.(check int) "one entry left" 1 (Wait_queue.length q)
+
+let test_length () =
+  let q = Wait_queue.create () in
+  Alcotest.(check int) "empty" 0 (Wait_queue.length q);
+  Wait_queue.register q (ref 0);
+  Alcotest.(check int) "one" 1 (Wait_queue.length q)
+
+let suite =
+  [
+    Alcotest.test_case "wake all" `Quick test_wake_all;
+    Alcotest.test_case "wake one is FIFO" `Quick test_wake_one_fifo;
+    Alcotest.test_case "wake on empty queue" `Quick test_wake_empty;
+    Alcotest.test_case "unregister" `Quick test_unregister;
+    Alcotest.test_case "unregister removes one entry" `Quick test_unregister_removes_one_entry;
+    Alcotest.test_case "length" `Quick test_length;
+  ]
