@@ -1,0 +1,37 @@
+# Convenience targets around dune; `make check` is the tier-1 verify.
+
+# JOBS: pool size for parallel sweeps (0 = one less than the
+# recommended domain count). SMOKE_SCALE: per-point workload fraction
+# for bench-smoke.
+JOBS ?= 0
+SMOKE_SCALE ?= 0.02
+
+.PHONY: build test check bench bench-smoke bench-wallclock clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 verify: the whole build plus the full test suite.
+check:
+	dune build && dune runtest
+
+# The full benchmark harness (micro + opcost + ablations + figures).
+bench: build
+	dune exec bench/main.exe -- --jobs $(JOBS)
+
+# Sequential-vs-parallel wall-clock for the reference figure set;
+# refreshes BENCH_wallclock.json at the repo root.
+bench-wallclock: build
+	dune exec bench/bench_wallclock.exe -- --jobs $(JOBS)
+
+# Tiny-scale wall-clock bench: exits non-zero if the Domain_pool run
+# diverges from the sequential run by even one byte of CSV.
+bench-smoke: build
+	dune exec bench/bench_wallclock.exe -- --scale $(SMOKE_SCALE) --jobs $(JOBS) \
+	  --out /tmp/BENCH_wallclock_smoke.json
+
+clean:
+	dune clean

@@ -1,0 +1,93 @@
+(* Sequential-vs-parallel wall-clock for a reference figure set.
+
+   Runs the same 13-point sweeps (fig5 and fig11, the determinism
+   suite's reference figures) once sequentially and once on a
+   Domain_pool, checks the two produce byte-identical CSV, and writes
+   the timings to BENCH_wallclock.json so the repo's perf trajectory
+   is measurable PR over PR. Exits non-zero if the parallel results
+   diverge — the Makefile's bench-smoke target leans on that. *)
+
+let parse_args () =
+  let scale = ref 0.1 in
+  let jobs = ref 0 in
+  let out = ref "BENCH_wallclock.json" in
+  let figures = ref [] in
+  let spec =
+    [
+      ("--scale", Arg.Set_float scale, "F fraction of 35000 connections per point (default 0.1)");
+      ("--jobs", Arg.Set_int jobs, "N pool size for the parallel pass (default 0 = auto)");
+      ("--out", Arg.Set_string out, "PATH where to write the JSON report");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> figures := a :: !figures)
+    "bench_wallclock [--scale F] [--jobs N] [--out PATH] [FIGURE...]";
+  if !jobs < 0 then begin
+    prerr_endline "bench_wallclock: --jobs must be >= 0";
+    exit 2
+  end;
+  let figures = match List.rev !figures with [] -> [ "fig5"; "fig11" ] | fs -> fs in
+  (!scale, !jobs, !out, figures)
+
+let resolve id =
+  match Scalanio.Figures.find id with
+  | Some fig -> fig
+  | None ->
+      Fmt.epr "bench_wallclock: unknown figure %S@." id;
+      exit 2
+
+(* Every number a figure produces, as one string: any divergence
+   between the two passes shows up as a fingerprint mismatch. *)
+let fingerprint all_series =
+  String.concat "\n" (List.map Sio_loadgen.Report.csv_of_series (List.concat all_series))
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let scale, jobs, out, figure_ids = parse_args () in
+  let figures = List.map resolve figure_ids in
+  let points = List.fold_left (fun n f -> n + List.length f.Scalanio.Figures.rates) 0 figures in
+  let run pool = List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures in
+  Fmt.epr "bench_wallclock: %s, %d points/figure-set, scale %.2f@."
+    (String.concat "+" figure_ids) points scale;
+  let seq, seq_s = timed (fun () -> run None) in
+  Fmt.epr "  sequential: %.2fs@." seq_s;
+  let size = if jobs = 0 then None else Some jobs in
+  let pool = Sio_sim.Domain_pool.create ?size () in
+  let n_jobs = Sio_sim.Domain_pool.size pool in
+  let par, par_s =
+    Fun.protect
+      ~finally:(fun () -> Sio_sim.Domain_pool.shutdown pool)
+      (fun () -> timed (fun () -> run (Some pool)))
+  in
+  Fmt.epr "  parallel (%d domains): %.2fs@." n_jobs par_s;
+  let identical = String.equal (fingerprint seq) (fingerprint par) in
+  let speedup = if par_s > 0. then seq_s /. par_s else 0. in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "wallclock",
+  "figures": [%s],
+  "points": %d,
+  "scale": %.3f,
+  "jobs": %d,
+  "recommended_domains": %d,
+  "sequential_s": %.3f,
+  "parallel_s": %.3f,
+  "speedup": %.2f,
+  "identical": %b
+}
+|}
+    (String.concat ", " (List.map (Printf.sprintf "%S") figure_ids))
+    points scale n_jobs
+    (Domain.recommended_domain_count ())
+    seq_s par_s speedup identical;
+  close_out oc;
+  Fmt.epr "  speedup: %.2fx, identical: %b -> wrote %s@." speedup identical out;
+  if not identical then begin
+    Fmt.epr "bench_wallclock: FAIL — parallel results diverge from sequential@.";
+    exit 1
+  end

@@ -166,7 +166,7 @@ let all = all @ [ lineage ]
 let find id = List.find_opt (fun f -> String.equal f.id id) all
 let ids () = List.map (fun f -> f.id) all
 
-let run ?(scale = 0.2) ?rates ?(seed = 42) ?(on_point = fun ~label:_ _ -> ()) fig =
+let run ?pool ?(scale = 0.2) ?rates ?(seed = 42) ?(on_point = fun ~label:_ _ -> ()) fig =
   let rates = match rates with Some r -> r | None -> fig.rates in
   List.map
     (fun spec ->
@@ -179,7 +179,7 @@ let run ?(scale = 0.2) ?rates ?(seed = 42) ?(on_point = fun ~label:_ _ -> ()) fi
         { (Experiment.default_config ~kind:spec.kind ~workload) with Experiment.seed }
       in
       let points =
-        Sweep.run ~on_point:(fun p -> on_point ~label:spec.label p) ~base ~rates ()
+        Sweep.run ?pool ~on_point:(fun p -> on_point ~label:spec.label p) ~base ~rates ()
       in
       { Report.label = spec.label; points })
     fig.series

@@ -34,6 +34,7 @@ val find : string -> t option
 val ids : unit -> string list
 
 val run :
+  ?pool:Sio_sim.Domain_pool.t ->
   ?scale:float ->
   ?rates:int list ->
   ?seed:int ->
@@ -43,7 +44,10 @@ val run :
 (** Executes every series of the figure. [scale] multiplies the
     paper's 35 000 connections per point (default 0.2, which keeps a
     full figure under a minute; use 1.0 for the paper's exact
-    procedure). *)
+    procedure). With [pool], the points of each series run in
+    parallel on the pool's domains with bit-identical results (see
+    {!Sweep.run}); [on_point] then fires per series in rate order
+    once that series completes. *)
 
 val render : Format.formatter -> t -> Report.series list -> unit
 (** Tables plus the chart appropriate to the figure, prefixed by the

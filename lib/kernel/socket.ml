@@ -20,13 +20,15 @@ type t = {
 
 and waiter = { wake : Pollmask.t -> unit }
 
-let next_id = ref 0
+(* Atomic so experiments running on separate domains (Domain_pool)
+   never mint duplicate ids; the values themselves carry no meaning
+   beyond identity within one host. *)
+let next_id = Atomic.make 0
 
 let make ~host ~backlog state =
-  incr next_id;
   {
     host;
-    id = !next_id;
+    id = 1 + Atomic.fetch_and_add next_id 1;
     backlog;
     state;
     rcv = Sock_buf.create ~capacity:65536;

@@ -30,7 +30,9 @@ let null_handlers =
 
 let segment_overhead = 40 (* TCP/IP header bytes: SYN, FIN, RST *)
 
-let next_id = ref 0
+(* Atomic for the same reason as [Socket.next_id]: parallel sweeps
+   must not mint duplicate connection ids across domains. *)
+let next_id = Atomic.make 0
 
 let charge_softirq host =
   let counters = host.Host.counters in
@@ -38,14 +40,13 @@ let charge_softirq host =
   ignore (Host.charge host host.Host.costs.Cost_model.softirq_per_packet)
 
 let connect ~net ~listener ?(extra_latency = Time.zero) ~handlers () =
-  incr next_id;
   let conn =
     {
       net;
       listener;
       extra_latency;
       handlers;
-      id = !next_id;
+      id = 1 + Atomic.fetch_and_add next_id 1;
       server_sock = None;
       client_open = true;
     }

@@ -1,3 +1,5 @@
+open Sio_sim
+
 type point = { rate : int; outcome : Experiment.outcome }
 
 let rates ~from ~until ~step =
@@ -7,23 +9,54 @@ let rates ~from ~until ~step =
 
 let paper_rates = rates ~from:500 ~until:1100 ~step:50
 
-let run ?(on_point = fun _ -> ()) ?(min_duration_s = 3) ~base ~rates () =
-  List.map
+let point_config ~base ~min_duration_s rate =
+  let total =
+    Stdlib.max base.Experiment.workload.Workload.total_connections (min_duration_s * rate)
+  in
+  let workload =
+    {
+      base.Experiment.workload with
+      Workload.request_rate = rate;
+      total_connections = total;
+    }
+  in
+  {
+    base with
+    Experiment.workload;
+    seed = Rng.derive ~seed:base.Experiment.seed rate;
+  }
+
+let check_seeds_unique ~base ~rates =
+  let seen = Hashtbl.create (List.length rates) in
+  List.iter
     (fun rate ->
-      let total =
-        Stdlib.max base.Experiment.workload.Workload.total_connections
-          (min_duration_s * rate)
-      in
-      let workload =
-        {
-          base.Experiment.workload with
-          Workload.request_rate = rate;
-          total_connections = total;
-        }
-      in
-      let cfg = { base with Experiment.workload; seed = base.Experiment.seed + rate } in
-      let outcome = Experiment.run cfg in
-      let point = { rate; outcome } in
-      on_point point;
-      point)
+      let seed = Rng.derive ~seed:base.Experiment.seed rate in
+      match Hashtbl.find_opt seen seed with
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf
+               "Sweep.run: rates %d and %d derive the same seed %d (duplicate rate?)"
+               other rate seed)
+      | None -> Hashtbl.replace seen seed rate)
     rates
+
+let run ?pool ?(on_point = fun _ -> ()) ?(min_duration_s = 3) ~base ~rates () =
+  check_seeds_unique ~base ~rates;
+  let run_rate rate =
+    { rate; outcome = Experiment.run (point_config ~base ~min_duration_s rate) }
+  in
+  match pool with
+  | None ->
+      List.map
+        (fun rate ->
+          let point = run_rate rate in
+          on_point point;
+          point)
+        rates
+  | Some pool ->
+      (* Every point owns its engine and seed, so the parallel path is
+         bit-for-bit the sequential one; map restores input order, and
+         on_point fires in rate order only after all points landed. *)
+      let points = Domain_pool.map pool ~f:run_rate rates in
+      List.iter on_point points;
+      points

@@ -8,15 +8,27 @@ val paper_rates : int list
 val rates : from:int -> until:int -> step:int -> int list
 
 val run :
+  ?pool:Sio_sim.Domain_pool.t ->
   ?on_point:(point -> unit) ->
   ?min_duration_s:int ->
   base:Experiment.config ->
   rates:int list ->
   unit ->
   point list
-(** Runs the base experiment once per rate (each run gets a fresh
-    engine, deterministic from the shared seed plus the rate).
-    [on_point] fires as each point completes, for progress output.
+(** Runs the base experiment once per rate. Each point is a fully
+    independent simulation: a fresh engine seeded by
+    [Rng.derive ~seed:base.seed rate], so per-point seeds are
+    unrelated and provably distinct for distinct rates (duplicate
+    rates raise [Invalid_argument]; the uniqueness of the derived
+    seeds is asserted up front).
+
+    With [pool], points run in parallel on the pool's domains; the
+    result list — and every number in it — is bit-for-bit identical
+    to the sequential run, because ordering is restored by index
+    before [on_point] fires (in rate order, after all points
+    complete). Without [pool], [on_point] fires as each point
+    completes, for progress output.
+
     [min_duration_s] (default 3) raises the per-point connection count
     when necessary so every point generates load for at least that
     many seconds — down-scaled workloads stay measurable at high

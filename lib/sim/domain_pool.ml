@@ -1,0 +1,105 @@
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_size () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec take () =
+    match Queue.take_opt pool.tasks with
+    | Some task -> Some task
+    | None ->
+        if pool.stopping then None
+        else begin
+          Condition.wait pool.work_available pool.mutex;
+          take ()
+        end
+  in
+  let task = take () in
+  Mutex.unlock pool.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop pool
+
+let create ?size () =
+  let size = match size with None -> default_size () | Some n -> n in
+  if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      tasks = Queue.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let map pool ~f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let first_error = ref None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Mutex.lock pool.mutex;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Domain_pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add
+        (fun () ->
+          (match f items.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Mutex.lock pool.mutex;
+              (match !first_error with
+              | Some (j, _, _) when j < i -> ()
+              | _ -> first_error := Some (i, e, bt));
+              Mutex.unlock pool.mutex);
+          Mutex.lock pool.mutex;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast all_done;
+          Mutex.unlock pool.mutex)
+        pool.tasks
+    done;
+    Condition.broadcast pool.work_available;
+    while !remaining > 0 do
+      Condition.wait all_done pool.mutex
+    done;
+    Mutex.unlock pool.mutex;
+    match !first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.to_list
+          (Array.map
+             (function Some r -> r | None -> assert false (* no error => all set *))
+             results)
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.stopping <- true;
+  pool.workers <- [||];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join workers
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,41 @@
+(** Fixed-size pool of OCaml 5 domains for embarrassingly parallel
+    experiment execution.
+
+    Each sweep point is an independent deterministic simulation (its
+    own engine, seed, and clock), so the only parallelism the harness
+    needs is "run these pure thunks on several cores and give the
+    results back in order". The pool is deliberately work-stealing
+    free: one mutex-protected FIFO feeds the workers, and {!map}
+    returns results indexed by input position, so a parallel run is
+    bit-for-bit identical to the sequential one. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
+    the submitting domain keeps one core for itself. *)
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size] worker domains (default
+    {!default_size}). Raises [Invalid_argument] if [size < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map pool ~f xs] evaluates [f x] for every element on the worker
+    domains and returns the results in input order. [f] must not
+    touch shared mutable state (every simulation in this repository
+    is engine-local, so [Experiment.run] qualifies). If any
+    application raises, the first exception (in input order) is
+    re-raised in the caller after all tasks have settled. Safe to
+    call repeatedly; must be called from the domain that owns the
+    pool, not from inside a task. *)
+
+val shutdown : t -> unit
+(** Joins all workers. Idempotent. Outstanding tasks complete first;
+    using the pool after shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and shuts the pool
+    down even if [f] raises. *)

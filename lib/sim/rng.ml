@@ -16,6 +16,14 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let derive ~seed i =
+  (* The i-th element of the SplitMix64 stream rooted at [seed]:
+     distinct [i] values give distinct (pre-truncation) outputs, so
+     derived seeds do not collide the way [seed + i] arithmetic can.
+     Shifted into 62 bits to stay a non-negative OCaml int. *)
+  let state = Int64.add (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int i)) in
+  Int64.to_int (Int64.shift_right_logical (mix state) 2)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit

@@ -16,6 +16,13 @@ val split : t -> t
     [t]. Used to give each subsystem its own stream so that adding
     draws in one subsystem does not perturb another. *)
 
+val derive : seed:int -> int -> int
+(** [derive ~seed i] mixes [seed] and the salt [i] into a fresh seed
+    (the [i]-th output of the SplitMix64 stream rooted at [seed]).
+    Unlike [seed + i], nearby salts give unrelated seeds and distinct
+    salts never collide; sweeps use it to give every point its own
+    seed without splitting a live generator. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

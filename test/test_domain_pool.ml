@@ -1,0 +1,69 @@
+open Sio_sim
+
+let test_map_preserves_order () =
+  Domain_pool.with_pool ~size:3 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      let ys = Domain_pool.map pool ~f:(fun x -> x * x) xs in
+      Alcotest.(check (list int)) "squares in order" (List.map (fun x -> x * x) xs) ys)
+
+let test_map_empty_and_reuse () =
+  Domain_pool.with_pool ~size:2 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Domain_pool.map pool ~f:(fun x -> x) []);
+      (* The pool survives repeated maps. *)
+      for i = 1 to 5 do
+        let ys = Domain_pool.map pool ~f:(fun x -> x + i) [ 1; 2; 3 ] in
+        Alcotest.(check (list int)) "round" [ 1 + i; 2 + i; 3 + i ] ys
+      done)
+
+let test_more_tasks_than_workers () =
+  Domain_pool.with_pool ~size:1 (fun pool ->
+      let xs = List.init 200 Fun.id in
+      let ys = Domain_pool.map pool ~f:(fun x -> 2 * x) xs in
+      Alcotest.(check int) "all ran" 200 (List.length ys);
+      Alcotest.(check (list int)) "ordered" (List.map (fun x -> 2 * x) xs) ys)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Domain_pool.with_pool ~size:2 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Domain_pool.map pool
+               ~f:(fun x -> if x mod 2 = 1 then raise (Boom x) else x)
+               [ 0; 1; 2; 3 ]);
+          None
+        with Boom x -> Some x
+      in
+      Alcotest.(check (option int)) "first failing index wins" (Some 1) raised;
+      (* The pool is still usable after a failed map. *)
+      Alcotest.(check (list int)) "pool alive" [ 10 ]
+        (Domain_pool.map pool ~f:(fun x -> x) [ 10 ]))
+
+let test_sizes () =
+  Alcotest.(check bool) "default size >= 1" true (Domain_pool.default_size () >= 1);
+  Domain_pool.with_pool ~size:4 (fun pool ->
+      Alcotest.(check int) "explicit size" 4 (Domain_pool.size pool));
+  Alcotest.check_raises "size 0 rejected"
+    (Invalid_argument "Domain_pool.create: size must be >= 1") (fun () ->
+      ignore (Domain_pool.create ~size:0 ()))
+
+let test_shutdown_semantics () =
+  let pool = Domain_pool.create ~size:2 () in
+  Alcotest.(check (list int)) "works" [ 2 ] (Domain_pool.map pool ~f:(fun x -> x + 1) [ 1 ]);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Domain_pool.map: pool is shut down") (fun () ->
+      ignore (Domain_pool.map pool ~f:(fun x -> x) [ 1 ]))
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "empty input and pool reuse" `Quick test_map_empty_and_reuse;
+    Alcotest.test_case "more tasks than workers" `Quick test_more_tasks_than_workers;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "sizing rules" `Quick test_sizes;
+    Alcotest.test_case "shutdown semantics" `Quick test_shutdown_semantics;
+  ]
