@@ -6,7 +6,7 @@
 JOBS ?= 0
 SMOKE_SCALE ?= 0.02
 
-.PHONY: build test check bench bench-smoke bench-wallclock clean
+.PHONY: build test lint check bench bench-smoke bench-wallclock clean
 
 build:
 	dune build
@@ -14,9 +14,16 @@ build:
 test:
 	dune runtest
 
-# Tier-1 verify: the whole build plus the full test suite.
+# Determinism / domain-safety / cost-accounting static analysis
+# (see DESIGN.md §7 "Statically-enforced invariants"). Non-zero exit
+# on any finding; suppress deliberate exceptions with
+# [@lint.ignore "reason"] at the site.
+lint: build
+	dune exec bin/sio_lint.exe -- lib bin bench examples
+
+# Tier-1 verify plus lint: build + full test suite + static analysis.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && dune exec bin/sio_lint.exe -- lib bin bench examples
 
 # The full benchmark harness (micro + opcost + ablations + figures).
 bench: build

@@ -1,0 +1,73 @@
+(* sio_lint — determinism & domain-safety static analyzer.
+
+   Parses every .ml under the given roots (default: lib bin bench
+   examples) and enforces the repository's invariants as named,
+   individually-suppressable rules. Exit status: 0 clean, 1 findings,
+   2 usage or I/O error. *)
+
+open Sio_analysis
+
+let usage =
+  "usage: sio_lint [--rule ID]... [--list-rules] [--json] [path]...\n\
+   Static analysis for scalanio: determinism, domain-safety and\n\
+   cost-accounting invariants. With no paths, scans lib bin bench\n\
+   examples under the current directory."
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let () =
+  let rule_ids = ref [] in
+  let json = ref false in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--rule",
+        Arg.String (fun s -> rule_ids := s :: !rule_ids),
+        "ID run only this rule (repeatable; see --list-rules)" );
+      ("--json", Arg.Set json, " emit findings as a JSON array for CI");
+      ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r -> Printf.printf "%-14s %s\n" r.Rule.id r.Rule.doc)
+      Driver.all_rules;
+    exit 0
+  end;
+  let rules =
+    match List.rev !rule_ids with
+    | [] -> Driver.all_rules
+    | ids ->
+        List.map
+          (fun id ->
+            match Driver.find_rule id with
+            | Some r -> r
+            | None ->
+                Printf.eprintf "sio_lint: unknown rule %S (try --list-rules)\n" id;
+                exit 2)
+          ids
+  in
+  let roots =
+    match List.rev !paths with
+    | [] -> List.filter Sys.file_exists default_roots
+    | ps ->
+        List.iter
+          (fun p ->
+            if not (Sys.file_exists p) then begin
+              Printf.eprintf "sio_lint: no such file or directory: %s\n" p;
+              exit 2
+            end)
+          ps;
+        ps
+  in
+  let findings = Driver.analyze_paths ~rules roots in
+  if !json then
+    print_endline
+      ("[" ^ String.concat "," (List.map Finding.to_json findings) ^ "]")
+  else List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  if findings <> [] then begin
+    Printf.eprintf "sio_lint: %d finding(s)\n" (List.length findings);
+    exit 1
+  end

@@ -1,0 +1,60 @@
+(* Parse .ml files with ppxlib's parser and run the rule set over
+   them. Findings are sorted (file, line, col, rule) so output is
+   stable no matter how the filesystem enumerates directories. *)
+
+let all_rules =
+  [
+    Rule_clock.rule;
+    Rule_hashtbl_order.rule;
+    Rule_domain_state.rule;
+    Rule_syscall_cost.rule;
+  ]
+
+let find_rule id = List.find_opt (fun r -> String.equal r.Rule.id id) all_rules
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Ppxlib.Parse.implementation lexbuf)
+
+let analyze_file ?(rules = all_rules) path =
+  match parse_impl path with
+  | str ->
+      List.concat_map (fun r -> r.Rule.check ~path str) rules
+      |> List.sort Finding.compare
+  | exception e ->
+      (* A file the linter cannot parse is itself a finding: the tree
+         must stay analyzable. *)
+      [
+        {
+          Finding.file = path;
+          line = 1;
+          col = 0;
+          rule = "parse-error";
+          message = Printexc.to_string e;
+        };
+      ]
+
+(* All .ml files under [root], depth-first, in sorted order. Build
+   artifacts and VCS metadata are skipped. *)
+let rec ml_files acc path =
+  if Sys.is_directory path then begin
+    let base = Filename.basename path in
+    if String.equal base "_build" || String.equal base ".git" then acc
+    else
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.fold_left (fun acc name -> ml_files acc (Filename.concat path name)) acc entries
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let analyze_paths ?rules paths =
+  paths
+  |> List.concat_map (fun p -> List.rev (ml_files [] p))
+  |> List.concat_map (fun file -> analyze_file ?rules file)
+  |> List.sort Finding.compare

@@ -1,0 +1,53 @@
+(* Rule plumbing shared by every check: the rule record itself, the
+   [@lint.ignore "reason"] escape hatch, longident helpers, and a
+   traversal class that tracks whether the current node sits under an
+   ignore annotation. *)
+
+open Ppxlib
+
+type t = {
+  id : string;  (** stable rule id, used by [--rule] and in reports *)
+  doc : string;  (** one-line description for [--list-rules] *)
+  check : path:string -> structure -> Finding.t list;
+}
+
+(* The escape hatch. An attribute named [lint.ignore] on an
+   expression or on a let-binding suppresses every rule for the whole
+   subtree it annotates. A reason string is expected by convention:
+   [@lint.ignore "why this is safe"]. *)
+let ignore_name = "lint.ignore"
+
+let has_ignore (attrs : attributes) =
+  List.exists (fun (a : attribute) -> String.equal a.attr_name.txt ignore_name) attrs
+
+let rec path_of_lid = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> path_of_lid l @ [ s ]
+  | Lapply _ -> []
+
+let lid_string lid = String.concat "." (path_of_lid lid)
+
+(* AST iterator that maintains an ignore depth: [suppressed] is true
+   whenever an enclosing expression or value binding carries
+   [@lint.ignore]. Subclasses implement [enter_expression], called on
+   every expression before its children are visited. *)
+class virtual scoped_checker =
+  object (self)
+    inherit Ast_traverse.iter as super
+    val mutable ignore_depth = 0
+    method suppressed = ignore_depth > 0
+    method virtual enter_expression : expression -> unit
+
+    method! expression e =
+      let ign = has_ignore e.pexp_attributes in
+      if ign then ignore_depth <- ignore_depth + 1;
+      if not self#suppressed then self#enter_expression e;
+      super#expression e;
+      if ign then ignore_depth <- ignore_depth - 1
+
+    method! value_binding vb =
+      let ign = has_ignore vb.pvb_attributes in
+      if ign then ignore_depth <- ignore_depth + 1;
+      super#value_binding vb;
+      if ign then ignore_depth <- ignore_depth - 1
+  end

@@ -1,0 +1,58 @@
+(* determinism: no ambient clock or global randomness.
+
+   A run must be a pure function of its seed (DESIGN.md §2). Reading
+   the host clock or drawing from the stdlib's global [Random] state
+   injects host-dependent values into the simulation. The only module
+   allowed to own entropy is [Sio_sim.Rng], whose streams are seeded
+   explicitly. *)
+
+open Ppxlib
+
+let id = "nondet-clock"
+
+let doc =
+  "host clock (Unix.gettimeofday/Unix.time/Sys.time) and global Random are \
+   nondeterministic; thread Sio_sim.Rng / simulated Time instead"
+
+(* Host-clock reads. [Sys.time] is CPU time, equally unreproducible. *)
+let clock_idents =
+  [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ] ]
+
+(* The Rng implementation itself is the one place entropy plumbing is
+   allowed to live. *)
+let exempt_file path = String.equal (Filename.basename path) "rng.ml"
+
+let check ~path str =
+  if exempt_file path then []
+  else begin
+    let acc = ref [] in
+    let add ~loc msg = acc := Finding.make ~loc ~rule:id msg :: !acc in
+    let visitor =
+      object
+        inherit Rule.scoped_checker
+
+        method enter_expression e =
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Rule.path_of_lid txt with
+              | "Random" :: _ :: _ ->
+                  add ~loc:e.pexp_loc
+                    (Printf.sprintf
+                       "%s draws from the global Random state; runs stop being a \
+                        pure function of their seed. Use Sio_sim.Rng."
+                       (Rule.lid_string txt))
+              | p when List.mem p clock_idents ->
+                  add ~loc:e.pexp_loc
+                    (Printf.sprintf
+                       "%s reads the host clock; simulation-visible time must come \
+                        from Sio_sim.Time / Engine.now."
+                       (Rule.lid_string txt))
+              | _ -> ())
+          | _ -> ()
+      end
+    in
+    visitor#structure str;
+    List.rev !acc
+  end
+
+let rule = { Rule.id; doc; check }

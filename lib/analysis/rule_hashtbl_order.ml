@@ -1,0 +1,89 @@
+(* determinism: Hashtbl element order must not escape.
+
+   [Hashtbl.iter]/[Hashtbl.fold] enumerate buckets, so their element
+   order is a function of the table's entire insertion/resize history.
+   Letting that order drive dispatch, closes, or handoffs couples
+   simulation-visible behaviour to incidental history — exactly the
+   hazard that broke byte-identity between runs that merely accepted
+   connections in a different order. A site is safe when the
+   enumerated result is sorted before anything can observe it, which
+   we approximate syntactically: the call must appear inside an
+   application of a sort function, or carry [@lint.ignore "reason"]. *)
+
+open Ppxlib
+
+let id = "hashtbl-order"
+
+let doc =
+  "Hashtbl.iter/fold order depends on insertion history; sort the result \
+   immediately (List.sort (Hashtbl.fold ...)) or annotate [@lint.ignore]"
+
+let sort_fns =
+  [
+    [ "List"; "sort" ];
+    [ "List"; "stable_sort" ];
+    [ "List"; "fast_sort" ];
+    [ "List"; "sort_uniq" ];
+    [ "Array"; "sort" ];
+  ]
+
+let is_sort_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> List.mem (Rule.path_of_lid txt) sort_fns
+  | _ -> false
+
+(* A node that establishes "everything below is sorted before it
+   escapes": a direct sort application, or a [|>] / [@@] pipe where
+   one side is a (possibly partial) sort application. *)
+let is_sort_context e =
+  match e.pexp_desc with
+  | Pexp_apply (fn, args) ->
+      is_sort_head fn
+      || (match fn.pexp_desc with
+         | Pexp_ident { txt = Lident ("|>" | "@@"); _ } ->
+             List.exists
+               (fun (_, arg) ->
+                 is_sort_head arg
+                 ||
+                 match arg.pexp_desc with
+                 | Pexp_apply (f, _) -> is_sort_head f
+                 | _ -> false)
+               args
+         | _ -> false)
+  | _ -> false
+
+let check ~path:_ str =
+  let acc = ref [] in
+  let visitor =
+    object
+      inherit Rule.scoped_checker as super_scoped
+      val mutable sort_depth = 0
+
+      method! expression e =
+        let srt = is_sort_context e in
+        if srt then sort_depth <- sort_depth + 1;
+        super_scoped#expression e;
+        if srt then sort_depth <- sort_depth - 1
+
+      method enter_expression e =
+        if sort_depth = 0 then
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Rule.path_of_lid txt with
+              | [ "Hashtbl"; (("iter" | "fold") as f) ] ->
+                  acc :=
+                    Finding.make ~loc:e.pexp_loc ~rule:id
+                      (Printf.sprintf
+                         "Hashtbl.%s element order can escape into \
+                          simulation-visible behaviour; sort the result \
+                          immediately or annotate [@lint.ignore \"reason\"]."
+                         f)
+                    :: !acc
+              | _ -> ())
+          | _ -> ()
+    end
+  in
+  visitor#structure str;
+  List.rev !acc
+
+let rule = { Rule.id; doc; check }

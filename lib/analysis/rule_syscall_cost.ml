@@ -1,0 +1,100 @@
+(* cost-accounting: no syscall is free.
+
+   Every figure in the paper is a CPU-cost story, so every simulated
+   syscall entry point must charge the CPU before running its
+   continuation — otherwise a future syscall silently costs nothing
+   and the cost model drifts. The rule applies to [kernel.ml] (the
+   syscall surface): every top-level function whose first parameter is
+   named [proc] must mention a charging primitive ([enter],
+   [Host.charge], [Host.charge_run], [Cpu.consume], [Cpu.run])
+   somewhere in its body. Entry points that delegate to a module that
+   charges internally carry [@lint.ignore "charged in ..."] so the
+   delegation is audited, not invisible. *)
+
+open Ppxlib
+
+let id = "syscall-cost"
+
+let doc =
+  "every syscall entry point in kernel.ml (first parameter `proc`) must charge \
+   the CPU (enter/Host.charge/Cpu.consume) before invoking its continuation"
+
+let applies path = String.equal (Filename.basename path) "kernel.ml"
+
+let charge_idents =
+  [
+    [ "enter" ];
+    [ "Host"; "charge" ];
+    [ "Host"; "charge_run" ];
+    [ "Cpu"; "consume" ];
+    [ "Cpu"; "run" ];
+  ]
+
+let mentions_charge expr =
+  let found = ref false in
+  let visitor =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } when List.mem (Rule.path_of_lid txt) charge_idents ->
+            found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  visitor#expression expr;
+  !found
+
+(* Does the binding define a function whose first value parameter is
+   a variable named [proc]? That is the syntactic signature of a
+   syscall entry point in kernel.ml. *)
+let first_param_is_proc e =
+  match e.pexp_desc with
+  | Pexp_function (params, _, _) ->
+      let rec first = function
+        | [] -> false
+        | { pparam_desc = Pparam_newtype _; _ } :: rest -> first rest
+        | { pparam_desc = Pparam_val (_, _, pat); _ } :: _ ->
+            let rec var_is_proc p =
+              match p.ppat_desc with
+              | Ppat_var { txt = "proc"; _ } -> true
+              | Ppat_constraint (p', _) -> var_is_proc p'
+              | _ -> false
+            in
+            var_is_proc pat
+      in
+      first params
+  | _ -> false
+
+let check ~path str =
+  if not (applies path) then []
+  else
+    let acc = ref [] in
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var name
+                  when (not (Rule.has_ignore vb.pvb_attributes))
+                       && first_param_is_proc vb.pvb_expr
+                       && not (mentions_charge vb.pvb_expr) ->
+                    acc :=
+                      Finding.make ~loc:vb.pvb_loc ~rule:id
+                        (Printf.sprintf
+                           "syscall entry point `%s` never charges the CPU; add a \
+                            charge (enter/Host.charge/Cpu.consume) or annotate \
+                            [@lint.ignore \"charged in <callee>\"]."
+                           name.txt)
+                      :: !acc
+                | _ -> ())
+              vbs
+        | _ -> ())
+      str;
+    List.rev !acc
+
+let rule = { Rule.id; doc; check }

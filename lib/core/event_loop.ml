@@ -104,7 +104,13 @@ let dispatch t fd mask =
    after an RT-signal queue overflow. *)
 let recovery_poll t ~k =
   t.overflow_recoveries <- t.overflow_recoveries + 1;
-  let interests = Hashtbl.fold (fun fd w acc -> (fd, w.events) :: acc) t.watches [] in
+  (* Sorted so the poll (and therefore dispatch) order is a function
+     of the watch set, not of the Hashtbl's insertion history. *)
+  let interests =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (Hashtbl.fold (fun fd w acc -> (fd, w.events) :: acc) t.watches [])
+  in
   Kernel.poll t.proc ~interests ~timeout:(Some Time.zero) ~k:(fun results ->
       List.iter (fun r -> dispatch t r.Sio_kernel.Poll.fd r.Sio_kernel.Poll.revents) results;
       k ())

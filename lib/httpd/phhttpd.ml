@@ -109,10 +109,13 @@ let sweep t =
   let n = Hashtbl.length t.conns in
   Kernel.compute (cur_proc t) (Time.mul t.config.sweep_cost_per_conn n);
   let cutoff = Time.sub (now t) t.config.idle_timeout in
+  (* Sorted so close order is a function of the connection set, not
+     of the Hashtbl's insertion history. *)
   let expired =
-    Hashtbl.fold
-      (fun fd conn acc -> if Conn.last_activity conn <= cutoff then fd :: acc else acc)
-      t.conns []
+    List.sort Int.compare
+      (Hashtbl.fold
+         (fun fd conn acc -> if Conn.last_activity conn <= cutoff then fd :: acc else acc)
+         t.conns [])
   in
   List.iter
     (fun fd ->
@@ -155,7 +158,14 @@ let overflow_recovery t ~k =
   let backend = Backend.poll t.sibling in
   let host = Process.host t.proc in
   let per_fd = Time.add t.config.handoff_cost_per_conn t.config.rebuild_cost_per_conn in
-  let entries = Hashtbl.fold (fun fd conn acc -> (fd, conn) :: acc) t.conns [] in
+  (* Handoff in ascending-fd order: each transfer costs simulated CPU,
+     so the order is simulation-visible and must not depend on the
+     Hashtbl's insertion history. *)
+  let entries =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (Hashtbl.fold (fun fd conn acc -> (fd, conn) :: acc) t.conns [])
+  in
   Hashtbl.reset t.conns;
   let rec go work =
     match work with

@@ -82,10 +82,13 @@ let sweep t =
   let n = Hashtbl.length t.conns in
   Kernel.compute t.proc (Time.mul t.config.sweep_cost_per_conn n);
   let cutoff = Time.sub (now t) t.config.idle_timeout in
+  (* Sorted so close order is a function of the connection set, not
+     of the Hashtbl's insertion history. *)
   let expired =
-    Hashtbl.fold
-      (fun fd conn acc -> if Conn.last_activity conn <= cutoff then fd :: acc else acc)
-      t.conns []
+    List.sort Int.compare
+      (Hashtbl.fold
+         (fun fd conn acc -> if Conn.last_activity conn <= cutoff then fd :: acc else acc)
+         t.conns [])
   in
   List.iter
     (fun fd ->

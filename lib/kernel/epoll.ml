@@ -241,7 +241,10 @@ let ready_count t = Queue.length t.ready
 
 let close t =
   if not t.closed then begin
-    Hashtbl.iter (fun _ i -> Socket.unsubscribe i.socket i.token) t.interests;
+    (* Teardown: every interest is unsubscribed and the table reset,
+       so the visit order cannot reach simulation-visible state. *)
+    (Hashtbl.iter (fun _ i -> Socket.unsubscribe i.socket i.token) t.interests
+    [@lint.ignore "teardown unsubscribes everything; order is not observable"]);
     Hashtbl.reset t.interests;
     Queue.clear t.ready;
     t.closed <- true

@@ -49,7 +49,14 @@ let close t fd =
 
 let is_open t fd = Hashtbl.mem t.slots fd
 let count t = Hashtbl.length t.slots
-let iter t f = Hashtbl.iter f t.slots
+(* [iter]/[fold] expose Hashtbl bucket order to their callers: any
+   caller that lets the order escape into simulation-visible
+   behaviour must sort first (the linter flags raw Hashtbl use at the
+   call sites that matter). *)
+let iter t f =
+  (Hashtbl.iter f t.slots
+  [@lint.ignore "order-exposing wrapper; callers must sort before order escapes"])
 
 let fold t ~init ~f =
-  Hashtbl.fold (fun fd v acc -> f acc fd v) t.slots init
+  (Hashtbl.fold (fun fd v acc -> f acc fd v) t.slots init
+  [@lint.ignore "order-exposing wrapper; callers must sort before order escapes"])

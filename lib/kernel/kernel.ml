@@ -108,21 +108,24 @@ let close proc fd =
       Devpoll.close dev;
       Ok ()
 
-let fcntl_setsig proc fd ~signo =
+let[@lint.ignore "charged in Rt_signal.set_signal (syscall_entry + fcntl_call)"] fcntl_setsig
+    proc fd ~signo =
   match Process.lookup_socket proc fd with
   | None -> Error `Ebadf
   | Some sock ->
       Rt_signal.set_signal (Process.rt_queue proc) ~socket:sock ~fd ~signo;
       Ok ()
 
-let fcntl_clearsig proc fd =
+let[@lint.ignore "charged in Rt_signal.clear_signal (syscall_entry + fcntl_call)"] fcntl_clearsig
+    proc fd =
   match Process.lookup_socket proc fd with
   | None -> Error `Ebadf
   | Some sock ->
       Rt_signal.clear_signal (Process.rt_queue proc) ~socket:sock ~fd;
       Ok ()
 
-let poll proc ~interests ~timeout ~k =
+let[@lint.ignore "charged in Poll.wait (syscall_entry + per-fd copyin)"] poll proc
+    ~interests ~timeout ~k =
   Poll.wait ~host:(Process.host proc)
     ~lookup:(Process.lookup_socket proc)
     ~interests ~timeout ~k
@@ -134,33 +137,44 @@ let devpoll_open proc =
   | Ok fd -> Ok fd
   | Error `Emfile -> Error `Emfile
 
-let devpoll_write proc fd entries =
+let[@lint.ignore "charged in Devpoll.write (syscall_entry + per-change cost)"] devpoll_write
+    proc fd entries =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
   | Some dev ->
       Devpoll.write dev entries;
       Ok ()
 
-let devpoll_alloc_map proc fd ~slots =
+let[@lint.ignore "charged in Devpoll.alloc_result_map (syscall_entry + mmap_setup)"] devpoll_alloc_map
+    proc fd ~slots =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
   | Some dev ->
       Devpoll.alloc_result_map dev ~slots;
       Ok ()
 
-let devpoll_wait proc fd ~max_results ~timeout ~k =
+let[@lint.ignore "charged in Devpoll.dp_poll (syscall_entry + per-result copyout)"] devpoll_wait
+    proc fd ~max_results ~timeout ~k =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
   | Some dev ->
       Devpoll.dp_poll dev ~max_results ~timeout ~k;
       Ok ()
 
-let sigwaitinfo proc ~k = Rt_signal.sigwaitinfo (Process.rt_queue proc) ~k
+let[@lint.ignore "charged in Rt_signal.wait_general (syscall_entry + sigwait_call)"] sigwaitinfo
+    proc ~k =
+  Rt_signal.sigwaitinfo (Process.rt_queue proc) ~k
 
-let sigtimedwait4 proc ~max ~timeout ~k =
+let[@lint.ignore "charged in Rt_signal.wait_general (syscall_entry + sigwait_call)"] sigtimedwait4
+    proc ~max ~timeout ~k =
   Rt_signal.sigtimedwait4 (Process.rt_queue proc) ~max ~timeout ~k
 
-let flush_signals proc = Rt_signal.flush (Process.rt_queue proc)
+(* Flushing the queue is a syscall like any other (the real server
+   does it with a signal-mask round trip); it was the one entry point
+   that cost nothing. *)
+let flush_signals proc =
+  ignore (enter proc Time.zero);
+  Rt_signal.flush (Process.rt_queue proc)
 
 let compute proc cost = ignore (Host.charge (Process.host proc) cost)
 

@@ -1,0 +1,3 @@
+(* Fixture: does not parse; the linter must report it rather than
+   silently skip it. *)
+let oops = (

@@ -1,0 +1,6 @@
+(* Fixture: every line below violates nondet-clock. *)
+let now () = Unix.gettimeofday ()
+let started_at = Unix.time ()
+let cpu_seconds () = Sys.time ()
+let jitter () = Random.float 1.0
+let coin () = Random.bool ()

@@ -1,0 +1,7 @@
+(* Fixture: conforming uses — seeded Rng, simulated time, and the
+   escape hatch for a host-side measurement. *)
+let pick rng bound = Sio_sim.Rng.int rng bound
+let now engine = Sio_sim.Engine.now engine
+
+let wall_clock () =
+  (Unix.gettimeofday () [@lint.ignore "host-side measurement, not simulation time"])

@@ -1,0 +1,10 @@
+(* Fixture: conforming syscall surface — every entry point charges,
+   delegates with an audited annotation, or is not an entry point. *)
+let enter proc extra = Host.charge proc extra
+
+let listen proc ~backlog =
+  ignore (enter proc backlog);
+  Ok 3
+
+let[@lint.ignore "charged in Poll.wait"] poll proc ~k = k proc
+let helper x = x + 1

@@ -1,0 +1,8 @@
+(* Fixture: Hashtbl element order escapes unsorted. *)
+let fds tbl = Hashtbl.fold (fun fd _ acc -> fd :: acc) tbl []
+
+let dispatch tbl f = Hashtbl.iter (fun fd _ -> f fd) tbl
+
+let sorted_too_late tbl =
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort compare rows

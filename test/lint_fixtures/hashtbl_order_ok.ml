@@ -1,0 +1,9 @@
+(* Fixture: conforming uses — the enumeration is sorted before the
+   order can escape, or the site is annotated. *)
+let fds tbl = List.sort compare (Hashtbl.fold (fun fd _ acc -> fd :: acc) tbl [])
+
+let piped tbl = Hashtbl.fold (fun fd _ acc -> fd :: acc) tbl [] |> List.sort compare
+
+let teardown tbl f =
+  (Hashtbl.iter (fun fd _ -> f fd) tbl
+  [@lint.ignore "teardown releases everything; order is not observable"])

@@ -1,0 +1,4 @@
+(* Fixture: one violation from each of two rules, for --rule
+   filtering tests. *)
+let seed () = Random.int 1000
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

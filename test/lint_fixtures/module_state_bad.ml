@@ -1,0 +1,8 @@
+(* Fixture: unsynchronised module-level mutable state. *)
+let next_id = ref 0
+let table : (int, string) Hashtbl.t = Hashtbl.create 16
+let scratch = Buffer.create 64
+
+module Inner = struct
+  let pending = Queue.create ()
+end

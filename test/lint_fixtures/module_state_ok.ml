@@ -1,0 +1,9 @@
+(* Fixture: conforming module-level state — atomic, annotated, or
+   simply immutable. *)
+let next_id = Atomic.make 0
+
+let[@lint.ignore "scratch buffer used only by the single render domain"] scratch =
+  Buffer.create 64
+
+let limit = 1024
+let local_state () = ref 0

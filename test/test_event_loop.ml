@@ -118,6 +118,60 @@ let test_rtsig_overflow_recovery () =
     (Scalanio.Event_loop.overflow_recoveries loop >= 1);
   Scalanio.Event_loop.stop loop
 
+(* Regression for the hashtbl-order lint rule: the recovery poll used
+   to dispatch in Hashtbl.fold order, which is a function of the watch
+   table's insertion history. Watch the same fd set in several
+   insertion orders; the dispatch sequence must be identical (and the
+   recovery portion ascending) every time. *)
+let test_recovery_dispatch_order_invariant () =
+  let n = 48 in
+  let dispatch_order perm =
+    let engine = Engine.create ~seed:13 () in
+    let host = Host.create ~engine ~costs:Cost_model.zero () in
+    let proc = Process.create ~host ~rt_queue_limit:2 ~name:"app" () in
+    let socks = Array.init n (fun _ -> install_sock proc host) in
+    let loop =
+      match
+        Scalanio.Event_loop.create ~proc
+          ~backend:
+            (Scalanio.Event_loop.Rt_signals { signo = Rt_signal.sigrtmin + 2; batch = 8 })
+      with
+      | Ok l -> l
+      | Error `Emfile -> Alcotest.fail "create failed"
+    in
+    let order = ref [] in
+    List.iter
+      (fun i ->
+        let fd, sock = socks.(i) in
+        Scalanio.Event_loop.watch loop ~fd ~events:Pollmask.pollin (fun _ ->
+            order := fd :: !order;
+            ignore (Socket.read_all sock)))
+      perm;
+    Scalanio.Event_loop.run loop;
+    ignore
+      (Engine.after engine (Time.ms 1) (fun () ->
+           Array.iter (fun (_, s) -> ignore (Socket.deliver s ~bytes_len:8 ~payload:"")) socks));
+    Engine.run ~until:(Time.ms 200) engine;
+    Alcotest.(check bool) "overflow recovery ran" true
+      (Scalanio.Event_loop.overflow_recoveries loop >= 1);
+    Scalanio.Event_loop.stop loop;
+    List.rev !order
+  in
+  let identity = List.init n Fun.id in
+  let shuffled =
+    let rng = Rng.create ~seed:7 in
+    let a = Array.of_list identity in
+    Rng.shuffle rng a;
+    Array.to_list a
+  in
+  let o1 = dispatch_order identity in
+  let o2 = dispatch_order (List.rev identity) in
+  let o3 = dispatch_order shuffled in
+  Alcotest.(check bool) "every fd dispatched" true
+    (List.length (List.sort_uniq compare o1) = n);
+  Alcotest.(check (list int)) "reverse insertion: same dispatch order" o1 o2;
+  Alcotest.(check (list int)) "shuffled insertion: same dispatch order" o1 o3
+
 let test_create_validation () =
   let _, _, proc = mk_world () in
   let raised =
@@ -137,5 +191,7 @@ let suite =
     Alcotest.test_case "timers" `Quick test_timers;
     Alcotest.test_case "RT overflow recovery loses nothing" `Quick
       test_rtsig_overflow_recovery;
+    Alcotest.test_case "recovery dispatch order ignores insertion order" `Quick
+      test_recovery_dispatch_order_invariant;
     Alcotest.test_case "create validation" `Quick test_create_validation;
   ]

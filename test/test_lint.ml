@@ -1,0 +1,181 @@
+(* Golden tests for Sio_analysis (`bin/sio_lint`): each rule has a
+   violating and a conforming fixture under [lint_fixtures/]; the
+   violating one must produce exactly the expected findings (file,
+   line, col, rule, message) and the conforming one none. *)
+
+open Sio_analysis
+
+let fx name = Filename.concat "lint_fixtures" name
+let render path = List.map Finding.to_string (Driver.analyze_file (fx path))
+
+let check_clean name file () =
+  Alcotest.(check (list string)) (name ^ " is clean") [] (render file)
+
+(* --- rule registry ------------------------------------------------- *)
+
+let test_rule_registry () =
+  Alcotest.(check (list string))
+    "rule ids"
+    [ "nondet-clock"; "hashtbl-order"; "module-state"; "syscall-cost" ]
+    (List.map (fun r -> r.Rule.id) Driver.all_rules);
+  List.iter
+    (fun r -> Alcotest.(check bool) (r.Rule.id ^ " has doc") true (r.Rule.doc <> ""))
+    Driver.all_rules
+
+(* --- nondet-clock -------------------------------------------------- *)
+
+let clock_msg what =
+  what ^ " reads the host clock; simulation-visible time must come from Sio_sim.Time / Engine.now."
+
+let random_msg what =
+  what
+  ^ " draws from the global Random state; runs stop being a pure function of their seed. Use Sio_sim.Rng."
+
+let test_clock_bad () =
+  Alcotest.(check (list string))
+    "clock_bad findings"
+    [
+      Printf.sprintf "lint_fixtures/clock_bad.ml:2:13: nondet-clock: %s"
+        (clock_msg "Unix.gettimeofday");
+      Printf.sprintf "lint_fixtures/clock_bad.ml:3:17: nondet-clock: %s"
+        (clock_msg "Unix.time");
+      Printf.sprintf "lint_fixtures/clock_bad.ml:4:21: nondet-clock: %s"
+        (clock_msg "Sys.time");
+      Printf.sprintf "lint_fixtures/clock_bad.ml:5:16: nondet-clock: %s"
+        (random_msg "Random.float");
+      Printf.sprintf "lint_fixtures/clock_bad.ml:6:14: nondet-clock: %s"
+        (random_msg "Random.bool");
+    ]
+    (render "clock_bad.ml")
+
+(* --- hashtbl-order ------------------------------------------------- *)
+
+let order_msg f =
+  "Hashtbl." ^ f
+  ^ " element order can escape into simulation-visible behaviour; sort the result immediately or annotate [@lint.ignore \"reason\"]."
+
+let test_hashtbl_bad () =
+  Alcotest.(check (list string))
+    "hashtbl_order_bad findings"
+    [
+      Printf.sprintf "lint_fixtures/hashtbl_order_bad.ml:2:14: hashtbl-order: %s"
+        (order_msg "fold");
+      Printf.sprintf "lint_fixtures/hashtbl_order_bad.ml:4:21: hashtbl-order: %s"
+        (order_msg "iter");
+      (* Sorting on the *next* line is still a violation: the rule is
+         syntactic, the sort must wrap the enumeration. *)
+      Printf.sprintf "lint_fixtures/hashtbl_order_bad.ml:7:13: hashtbl-order: %s"
+        (order_msg "fold");
+    ]
+    (render "hashtbl_order_bad.ml")
+
+(* --- module-state -------------------------------------------------- *)
+
+let state_msg name ctor =
+  Printf.sprintf
+    "module-level mutable state `%s` (%s) is unsynchronised across Domain_pool workers; use Atomic.t or annotate [@lint.ignore \"reason\"]."
+    name ctor
+
+let test_module_state_bad () =
+  Alcotest.(check (list string))
+    "module_state_bad findings"
+    [
+      Printf.sprintf "lint_fixtures/module_state_bad.ml:2:0: module-state: %s"
+        (state_msg "next_id" "ref");
+      Printf.sprintf "lint_fixtures/module_state_bad.ml:3:0: module-state: %s"
+        (state_msg "table" "Hashtbl.create");
+      Printf.sprintf "lint_fixtures/module_state_bad.ml:4:0: module-state: %s"
+        (state_msg "scratch" "Buffer.create");
+      (* Nested modules are still module-level state. *)
+      Printf.sprintf "lint_fixtures/module_state_bad.ml:7:2: module-state: %s"
+        (state_msg "pending" "Queue.create");
+    ]
+    (render "module_state_bad.ml")
+
+(* --- syscall-cost -------------------------------------------------- *)
+
+let cost_msg name =
+  Printf.sprintf
+    "syscall entry point `%s` never charges the CPU; add a charge (enter/Host.charge/Cpu.consume) or annotate [@lint.ignore \"charged in <callee>\"]."
+    name
+
+let test_cost_bad () =
+  Alcotest.(check (list string))
+    "cost_bad findings"
+    [
+      Printf.sprintf "lint_fixtures/cost_bad/kernel.ml:2:0: syscall-cost: %s"
+        (cost_msg "listen");
+      Printf.sprintf "lint_fixtures/cost_bad/kernel.ml:7:0: syscall-cost: %s"
+        (cost_msg "free_syscall");
+    ]
+    (render "cost_bad/kernel.ml")
+
+let test_cost_only_kernel_ml () =
+  (* The rule keys on the file name: the same source under another
+     name is out of scope. *)
+  let str = Driver.parse_impl (fx "cost_bad/kernel.ml") in
+  Alcotest.(check int)
+    "not applied outside kernel.ml" 0
+    (List.length (Rule_syscall_cost.rule.Rule.check ~path:"lint_fixtures/other.ml" str))
+
+(* --- rule selection, parse errors, JSON ---------------------------- *)
+
+let test_rule_filter () =
+  let only id =
+    match Driver.find_rule id with Some r -> [ r ] | None -> Alcotest.fail ("no rule " ^ id)
+  in
+  let rules_of rules file =
+    List.map (fun f -> f.Finding.rule) (Driver.analyze_file ~rules (fx file))
+  in
+  Alcotest.(check (list string))
+    "only nondet-clock" [ "nondet-clock" ]
+    (rules_of (only "nondet-clock") "mixed_bad.ml");
+  Alcotest.(check (list string))
+    "only hashtbl-order" [ "hashtbl-order" ]
+    (rules_of (only "hashtbl-order") "mixed_bad.ml");
+  Alcotest.(check bool) "unknown rule" true (Driver.find_rule "no-such-rule" = None)
+
+let test_parse_error () =
+  match Driver.analyze_file (fx "broken_syntax.ml") with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "parse-error" f.Finding.rule;
+      Alcotest.(check string) "file" "lint_fixtures/broken_syntax.ml" f.Finding.file;
+      Alcotest.(check int) "line" 1 f.Finding.line
+  | fs -> Alcotest.failf "expected exactly one parse-error finding, got %d" (List.length fs)
+
+let test_json () =
+  let f =
+    { Finding.file = "a \"b\".ml"; line = 3; col = 7; rule = "nondet-clock"; message = "x\ny" }
+  in
+  Alcotest.(check string)
+    "json escaping"
+    {|{"file":"a \"b\".ml","line":3,"col":7,"rule":"nondet-clock","message":"x\ny"}|}
+    (Finding.to_json f)
+
+let test_paths_sorted () =
+  (* Directory enumeration must not leak into output order. *)
+  let fs = Driver.analyze_paths [ "lint_fixtures" ] in
+  let rendered = List.map Finding.to_string fs in
+  Alcotest.(check (list string)) "sorted" (List.sort compare rendered) rendered;
+  Alcotest.(check bool) "found fixture violations" true (List.length fs > 10)
+
+let suite =
+  [
+    Alcotest.test_case "rule registry" `Quick test_rule_registry;
+    Alcotest.test_case "nondet-clock: violations" `Quick test_clock_bad;
+    Alcotest.test_case "nondet-clock: conforming" `Quick (check_clean "clock_ok" "clock_ok.ml");
+    Alcotest.test_case "hashtbl-order: violations" `Quick test_hashtbl_bad;
+    Alcotest.test_case "hashtbl-order: conforming" `Quick
+      (check_clean "hashtbl_order_ok" "hashtbl_order_ok.ml");
+    Alcotest.test_case "module-state: violations" `Quick test_module_state_bad;
+    Alcotest.test_case "module-state: conforming" `Quick
+      (check_clean "module_state_ok" "module_state_ok.ml");
+    Alcotest.test_case "syscall-cost: violations" `Quick test_cost_bad;
+    Alcotest.test_case "syscall-cost: conforming" `Quick
+      (check_clean "cost_ok" "cost_ok/kernel.ml");
+    Alcotest.test_case "syscall-cost: scoped to kernel.ml" `Quick test_cost_only_kernel_ml;
+    Alcotest.test_case "--rule filtering" `Quick test_rule_filter;
+    Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
+    Alcotest.test_case "json output" `Quick test_json;
+    Alcotest.test_case "findings sorted across files" `Quick test_paths_sorted;
+  ]
