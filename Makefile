@@ -6,7 +6,7 @@
 JOBS ?= 0
 SMOKE_SCALE ?= 0.02
 
-.PHONY: build test lint check bench bench-smoke bench-wallclock clean
+.PHONY: build test lint check bench bench-micro bench-smoke bench-wallclock clean
 
 build:
 	dune build
@@ -21,13 +21,20 @@ test:
 lint: build
 	dune exec bin/sio_lint.exe -- lib bin bench examples
 
-# Tier-1 verify plus lint: build + full test suite + static analysis.
+# Tier-1 verify plus lint and a tiny wall-clock smoke: build + full
+# test suite + static analysis + sequential-vs-parallel byte-identity.
 check:
 	dune build && dune runtest && dune exec bin/sio_lint.exe -- lib bin bench examples
+	$(MAKE) bench-smoke
 
 # The full benchmark harness (micro + opcost + ablations + figures).
 bench: build
 	dune exec bench/main.exe -- --jobs $(JOBS)
+
+# Refresh the committed microbenchmark numbers (BENCH_micro.json at
+# the repo root), without the full bench/main.exe figure sweep.
+bench-micro: build
+	dune exec bench/bench_micro_main.exe
 
 # Sequential-vs-parallel wall-clock for the reference figure set;
 # refreshes BENCH_wallclock.json at the repo root.

@@ -84,6 +84,39 @@ let histogram_add =
     (let h = Histogram.create () in
      Staged.stage (fun () -> Histogram.add h 1_234_567))
 
+(* The ordered-iteration race that motivated Fd_map: walking an
+   fd-keyed table in ascending fd order, either intrinsically (Fd_map)
+   or via the defensive snapshot the Hashtbl call sites used to take
+   (fold into a list, sort, walk). *)
+let fd_map_iterate n =
+  Test.make ~name:(Printf.sprintf "fd_map ordered iterate (%d)" n)
+    (let m = Fd_map.create ~initial_capacity:64 () in
+     for fd = 0 to n - 1 do
+       Fd_map.set m fd fd
+     done;
+     Staged.stage (fun () ->
+         let sum = ref 0 in
+         Fd_map.iter m (fun fd _ -> sum := !sum + fd);
+         ignore (Sys.opaque_identity !sum)))
+
+let hashtbl_snapshot_iterate n =
+  Test.make ~name:(Printf.sprintf "hashtbl fold+sort iterate (%d)" n)
+    (let h = Hashtbl.create 64 in
+     for fd = 0 to n - 1 do
+       Hashtbl.replace h fd fd
+     done;
+     Staged.stage (fun () ->
+         let fds = List.sort compare (Hashtbl.fold (fun fd _ acc -> fd :: acc) h []) in
+         let sum = ref 0 in
+         List.iter (fun fd -> sum := !sum + fd) fds;
+         ignore (Sys.opaque_identity !sum)))
+
+let fd_map_tests =
+  Test.make_grouped ~name:"fd-map"
+    (List.concat_map
+       (fun n -> [ fd_map_iterate n; hashtbl_snapshot_iterate n ])
+       [ 10; 100; 1000 ])
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -97,9 +130,25 @@ let tests =
       devpoll_scan 1000;
       rt_enqueue_dequeue;
       histogram_add;
+      fd_map_tests;
     ]
 
-let run ppf =
+(* Machine-readable mirror of the printed table, for commit alongside
+   the repo (BENCH_micro.json) and the README perf note. *)
+let write_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %s}%s\n" name
+        (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run ?json_out ppf =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -112,6 +161,7 @@ let run ppf =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
+  let json_rows = ref [] in
   Fmt.pf ppf "== Microbenchmarks (host wall time per operation) ==@.";
   (* Host-side report of a single measure instance; not simulation
      state. The per-measure rows below are sorted before printing. *)
@@ -125,9 +175,19 @@ let run ppf =
       List.iter
         (fun (name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Fmt.pf ppf "%-44s %10.1f ns/%s@." name est measure
-          | Some [] | None -> Fmt.pf ppf "%-44s %10s@." name "n/a")
+          | Some (est :: _) ->
+              json_rows := (name, Some est) :: !json_rows;
+              Fmt.pf ppf "%-48s %10.1f ns/%s@." name est measure
+          | Some [] | None ->
+              json_rows := (name, None) :: !json_rows;
+              Fmt.pf ppf "%-48s %10s@." name "n/a")
         rows)
      merged
   [@lint.ignore "bechamel report table; host-side output, rows sorted above"]);
+  (match json_out with
+  | Some path ->
+      write_json path
+        (List.sort (fun (a, _) (b, _) -> compare (a : string) b) !json_rows);
+      Fmt.pf ppf "wrote %s@." path
+  | None -> ());
   Fmt.pf ppf "@."

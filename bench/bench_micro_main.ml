@@ -1,0 +1,14 @@
+(* Standalone microbenchmark runner: prints the bechamel table and
+   writes the machine-readable BENCH_micro.json next to the cwd, so
+   `make bench-micro` can refresh the committed numbers without the
+   full `bench/main.exe` figure sweep. *)
+
+let () =
+  let json = ref "BENCH_micro.json" in
+  let spec =
+    [ ("--json", Arg.Set_string json, "FILE JSON output path (default BENCH_micro.json)") ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/bench_micro_main.exe";
+  Bench_lib.Bench_micro.run ~json_out:!json Fmt.stdout

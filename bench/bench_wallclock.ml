@@ -15,7 +15,9 @@ let parse_args () =
   let spec =
     [
       ("--scale", Arg.Set_float scale, "F fraction of 35000 connections per point (default 0.1)");
-      ("--jobs", Arg.Set_int jobs, "N pool size for the parallel pass (default 0 = auto)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N pool size for the parallel pass (default 0 = min(cores-1, points))" );
       ("--out", Arg.Set_string out, "PATH where to write the JSON report");
     ]
   in
@@ -58,8 +60,14 @@ let () =
     (String.concat "+" figure_ids) points scale;
   let seq, seq_s = timed (fun () -> run None) in
   Fmt.epr "  sequential: %.2fs@." seq_s;
-  let size = if jobs = 0 then None else Some jobs in
-  let pool = Sio_sim.Domain_pool.create ?size () in
+  (* Auto-sizing caps the pool at the point count: domains beyond the
+     number of sweep points would only sit idle. *)
+  let size =
+    if jobs = 0 then
+      Stdlib.max 1 (Stdlib.min (Domain.recommended_domain_count () - 1) points)
+    else jobs
+  in
+  let pool = Sio_sim.Domain_pool.create ~size () in
   let n_jobs = Sio_sim.Domain_pool.size pool in
   let par, par_s =
     Fun.protect
@@ -76,7 +84,8 @@ let () =
   "figures": [%s],
   "points": %d,
   "scale": %.3f,
-  "jobs": %d,
+  "seq_jobs": 1,
+  "parallel_jobs": %d,
   "recommended_domains": %d,
   "sequential_s": %.3f,
   "parallel_s": %.3f,

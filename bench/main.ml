@@ -37,7 +37,7 @@ let () =
   let ppf = Fmt.stdout in
   Fmt.pf ppf "scalanio benchmark harness — Provos & Lever (2000) reproduction@.";
   Fmt.pf ppf "figure scale: %.2f x 35000 connections/point, rate step %d@.@." scale step;
-  if not skip_micro then Bench_micro.run ppf;
+  if not skip_micro then Bench_lib.Bench_micro.run ppf;
   Bench_opcost.run ppf;
   Bench_ablation.run ppf ~scale;
   Bench_docsize.run ppf ~scale;

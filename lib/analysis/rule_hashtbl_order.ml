@@ -6,9 +6,13 @@
    simulation-visible behaviour to incidental history — exactly the
    hazard that broke byte-identity between runs that merely accepted
    connections in a different order. A site is safe when the
-   enumerated result is sorted before anything can observe it, which
-   we approximate syntactically: the call must appear inside an
-   application of a sort function, or carry [@lint.ignore "reason"]. *)
+   enumerated result is sorted before anything can observe it, or when
+   every element is poured straight into an [Fd_map] — the ordered
+   container canonicalizes away the enumeration order, so nothing
+   downstream can see it. We approximate both syntactically: the call
+   must appear inside an application of a sort function, or its
+   callback body must be exactly one [Fd_map.set] application, or it
+   must carry [@lint.ignore "reason"]. *)
 
 open Ppxlib
 
@@ -16,7 +20,8 @@ let id = "hashtbl-order"
 
 let doc =
   "Hashtbl.iter/fold order depends on insertion history; sort the result \
-   immediately (List.sort (Hashtbl.fold ...)) or annotate [@lint.ignore]"
+   immediately (List.sort (Hashtbl.fold ...)), rebuild into an ordered \
+   Fd_map, or annotate [@lint.ignore]"
 
 let sort_fns =
   [
@@ -32,9 +37,32 @@ let is_sort_head e =
   | Pexp_ident { txt; _ } -> List.mem (Rule.path_of_lid txt) sort_fns
   | _ -> false
 
-(* A node that establishes "everything below is sorted before it
-   escapes": a direct sort application, or a [|>] / [@@] pipe where
-   one side is a (possibly partial) sort application. *)
+(* Does the path name [Fd_map.set], under any module prefix
+   ([Fd_map.set], [Sio_sim.Fd_map.set], ...)? *)
+let is_fd_map_set_path p =
+  match List.rev p with "set" :: "Fd_map" :: _ -> true | _ -> false
+
+(* A callback that pours each element straight into an Fd_map: after
+   peeling the parameters, the body is exactly one [Fd_map.set]
+   application. A sequence ([Fd_map.set ...; log fd]) does not
+   qualify — the extra code can still observe the order. *)
+let is_fd_map_rebuild_callback e =
+  let rec body e =
+    match e.pexp_desc with
+    | Pexp_function (_, _, Pfunction_body b) -> body b
+    | _ -> e
+  in
+  match (body e).pexp_desc with
+  | Pexp_apply (fn, _) -> (
+      match fn.pexp_desc with
+      | Pexp_ident { txt; _ } -> is_fd_map_set_path (Rule.path_of_lid txt)
+      | _ -> false)
+  | _ -> false
+
+(* A node that establishes "the enumeration order cannot escape":
+   a direct sort application, a [|>] / [@@] pipe where one side is a
+   (possibly partial) sort application, or a Hashtbl.iter/fold whose
+   callback rebuilds into an ordered Fd_map. *)
 let is_sort_context e =
   match e.pexp_desc with
   | Pexp_apply (fn, args) ->
@@ -49,6 +77,13 @@ let is_sort_context e =
                  | Pexp_apply (f, _) -> is_sort_head f
                  | _ -> false)
                args
+         | _ -> false)
+      || (match fn.pexp_desc with
+         | Pexp_ident { txt; _ } -> (
+             match Rule.path_of_lid txt with
+             | [ "Hashtbl"; ("iter" | "fold") ] ->
+                 List.exists (fun (_, arg) -> is_fd_map_rebuild_callback arg) args
+             | _ -> false)
          | _ -> false)
   | _ -> false
 
@@ -76,7 +111,8 @@ let check ~path:_ str =
                       (Printf.sprintf
                          "Hashtbl.%s element order can escape into \
                           simulation-visible behaviour; sort the result \
-                          immediately or annotate [@lint.ignore \"reason\"]."
+                          immediately, rebuild into an ordered Fd_map, or \
+                          annotate [@lint.ignore \"reason\"]."
                          f)
                     :: !acc
               | _ -> ())

@@ -19,7 +19,7 @@ type notifier =
 type t = {
   proc : Process.t;
   notifier : notifier;
-  watches : (int, watch) Hashtbl.t;
+  watches : watch Fd_map.t;
   mutable running : bool;
   mutable stopped : bool;
   mutable overflow_recoveries : int;
@@ -49,7 +49,7 @@ let create ~proc ~backend =
         {
           proc;
           notifier;
-          watches = Hashtbl.create 64;
+          watches = Fd_map.create ~initial_capacity:64 ();
           running = false;
           stopped = false;
           overflow_recoveries = 0;
@@ -62,20 +62,19 @@ let backend_name t =
   | Via_signals { batch; _ } -> if batch > 1 then "rtsig-batched" else "rtsig"
 
 let watch t ~fd ~events callback =
-  Hashtbl.replace t.watches fd { events; callback };
+  Fd_map.set t.watches fd { events; callback };
   match t.notifier with
   | Via_backend b -> Sio_httpd.Backend.add b fd events
   | Via_signals { signo; _ } -> ignore (Kernel.fcntl_setsig t.proc fd ~signo)
 
 let unwatch t fd =
-  if Hashtbl.mem t.watches fd then begin
-    Hashtbl.remove t.watches fd;
+  if Fd_map.remove t.watches fd then begin
     match t.notifier with
     | Via_backend b -> Sio_httpd.Backend.remove b fd
     | Via_signals _ -> ignore (Kernel.fcntl_clearsig t.proc fd)
   end
 
-let watched_count t = Hashtbl.length t.watches
+let watched_count t = Fd_map.length t.watches
 
 let engine t = (Process.host t.proc).Host.engine
 
@@ -96,20 +95,18 @@ let add_periodic t ~every f =
   arm ()
 
 let dispatch t fd mask =
-  match Hashtbl.find_opt t.watches fd with
+  match Fd_map.find t.watches fd with
   | Some w -> w.callback mask
   | None -> () (* stale event for an unwatched descriptor *)
 
 (* Recovery poll over the entire watch set: the paper's prescription
-   after an RT-signal queue overflow. *)
+   after an RT-signal queue overflow. Fd_map iterates in ascending fd
+   order, so the poll (and therefore dispatch) order is a function of
+   the watch set alone — no snapshot-and-sort needed. *)
 let recovery_poll t ~k =
   t.overflow_recoveries <- t.overflow_recoveries + 1;
-  (* Sorted so the poll (and therefore dispatch) order is a function
-     of the watch set, not of the Hashtbl's insertion history. *)
   let interests =
-    List.sort
-      (fun (a, _) (b, _) -> Int.compare a b)
-      (Hashtbl.fold (fun fd w acc -> (fd, w.events) :: acc) t.watches [])
+    List.rev (Fd_map.fold t.watches ~init:[] ~f:(fun acc fd w -> (fd, w.events) :: acc))
   in
   Kernel.poll t.proc ~interests ~timeout:(Some Time.zero) ~k:(fun results ->
       List.iter (fun r -> dispatch t r.Sio_kernel.Poll.fd r.Sio_kernel.Poll.revents) results;

@@ -38,7 +38,7 @@ type t = {
   listen_fd : int;
   listener : Socket.t;
   backend : Backend.t; (* /dev/poll state, maintained in both modes *)
-  conns : (int, Conn.t) Hashtbl.t;
+  conns : Conn.t Fd_map.t;
   stats : Server_stats.t;
   mutable mode : mode;
   mutable full_batch_streak : int;
@@ -49,11 +49,11 @@ type t = {
 let now t = Host.now (Process.host t.proc)
 
 let drop_conn t fd =
-  Hashtbl.remove t.conns fd;
+  ignore (Fd_map.remove t.conns fd);
   Backend.remove t.backend fd
 
 let handle_conn_event t fd =
-  match Hashtbl.find_opt t.conns fd with
+  match Fd_map.find t.conns fd with
   | None ->
       t.stats.Server_stats.stale_events <- t.stats.Server_stats.stale_events + 1;
       Kernel.compute t.proc t.config.conn.Conn.read_spin_cost
@@ -74,7 +74,7 @@ let accept_pending t =
   let rec go () =
     match Kernel.accept t.proc t.listen_fd with
     | Ok (fd, _sock) ->
-        Hashtbl.replace t.conns fd (Conn.create ~fd ~now:(now t));
+        Fd_map.set t.conns fd (Conn.create ~fd ~now:(now t));
         (* Both registrations, kept concurrently: the cheap switch. *)
         ignore (Kernel.fcntl_setsig t.proc fd ~signo:t.config.signo);
         Backend.add t.backend fd Pollmask.pollin;
@@ -92,23 +92,18 @@ let accept_pending t =
 let handle_fd t fd = if fd = t.listen_fd then accept_pending t else handle_conn_event t fd
 
 let sweep t =
-  let n = Hashtbl.length t.conns in
+  let n = Fd_map.length t.conns in
   Kernel.compute t.proc (Time.mul t.config.sweep_cost_per_conn n);
   let cutoff = Time.sub (now t) t.config.idle_timeout in
-  (* Sorted so close order is a function of the connection set, not
-     of the Hashtbl's insertion history. *)
-  let expired =
-    List.sort Int.compare
-      (Hashtbl.fold
-         (fun fd conn acc -> if Conn.last_activity conn <= cutoff then fd :: acc else acc)
-         t.conns [])
-  in
-  List.iter
-    (fun fd ->
-      ignore (Kernel.close t.proc fd);
-      drop_conn t fd;
-      t.stats.Server_stats.timed_out_conns <- t.stats.Server_stats.timed_out_conns + 1)
-    expired;
+  (* Fd_map iterates in ascending fd order and tolerates removal of
+     the current key, so expired connections close in-place — same
+     close order as the old snapshot-and-sort, without the snapshot. *)
+  Fd_map.iter t.conns (fun fd conn ->
+      if Conn.last_activity conn <= cutoff then begin
+        ignore (Kernel.close t.proc fd);
+        drop_conn t fd;
+        t.stats.Server_stats.timed_out_conns <- t.stats.Server_stats.timed_out_conns + 1
+      end);
   t.next_sweep <- Time.add (now t) t.config.sweep_period
 
 let switch_to_polling t =
@@ -194,7 +189,7 @@ let start ~proc ?(config = default_config) () =
               listen_fd;
               listener;
               backend;
-              conns = Hashtbl.create 256;
+              conns = Fd_map.create ~initial_capacity:256 ();
               stats = Server_stats.create ~sample_interval:config.sample_interval ();
               mode = Signals;
               full_batch_streak = 0;
@@ -209,6 +204,6 @@ let start ~proc ?(config = default_config) () =
 
 let listener t = t.listener
 let stats t = t.stats
-let connection_count t = Hashtbl.length t.conns
+let connection_count t = Fd_map.length t.conns
 let mode t = t.mode
 let stop t = t.stopped <- true

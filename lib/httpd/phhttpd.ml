@@ -37,7 +37,7 @@ type t = {
   sibling : Process.t; (* the poll sibling (a Linux thread = own pid) *)
   config : config;
   listener : Socket.t;
-  conns : (int, Conn.t) Hashtbl.t;
+  conns : Conn.t Fd_map.t;
   stats : Server_stats.t;
   mutable listen_fd : int; (* moves to the sibling's table on handoff *)
   mutable mode : mode;
@@ -53,7 +53,7 @@ let cur_proc t = match t.mode with Signals -> t.proc | Polling -> t.sibling
 let now t = Host.now (Process.host t.proc)
 
 let drop_conn t fd =
-  Hashtbl.remove t.conns fd;
+  ignore (Fd_map.remove t.conns fd);
   match t.poll_backend with Some b -> Backend.remove b fd | None -> ()
 
 let handle_conn_event t fd =
@@ -62,8 +62,8 @@ let handle_conn_event t fd =
      paper suspects behind Figures 12-13. Charged per handled event,
      in both signal and polling modes. *)
   Kernel.compute (cur_proc t)
-    (Time.mul t.config.conn_table_cost_per_conn (Hashtbl.length t.conns));
-  match Hashtbl.find_opt t.conns fd with
+    (Time.mul t.config.conn_table_cost_per_conn (Fd_map.length t.conns));
+  match Fd_map.find t.conns fd with
   | None ->
       (* A stale RT signal for a connection that is already gone: the
          hazard the paper warns about. It costs a little CPU to look
@@ -87,7 +87,7 @@ let accept_pending t =
   let rec go () =
     match Kernel.accept (cur_proc t) t.listen_fd with
     | Ok (fd, _sock) ->
-        Hashtbl.replace t.conns fd (Conn.create ~fd ~now:(now t));
+        Fd_map.set t.conns fd (Conn.create ~fd ~now:(now t));
         (match t.mode with
         | Signals -> ignore (Kernel.fcntl_setsig t.proc fd ~signo:t.config.signo)
         | Polling -> (
@@ -106,23 +106,18 @@ let accept_pending t =
   go ()
 
 let sweep t =
-  let n = Hashtbl.length t.conns in
+  let n = Fd_map.length t.conns in
   Kernel.compute (cur_proc t) (Time.mul t.config.sweep_cost_per_conn n);
   let cutoff = Time.sub (now t) t.config.idle_timeout in
-  (* Sorted so close order is a function of the connection set, not
-     of the Hashtbl's insertion history. *)
-  let expired =
-    List.sort Int.compare
-      (Hashtbl.fold
-         (fun fd conn acc -> if Conn.last_activity conn <= cutoff then fd :: acc else acc)
-         t.conns [])
-  in
-  List.iter
-    (fun fd ->
-      ignore (Kernel.close (cur_proc t) fd);
-      drop_conn t fd;
-      t.stats.Server_stats.timed_out_conns <- t.stats.Server_stats.timed_out_conns + 1)
-    expired;
+  (* Fd_map iterates in ascending fd order and tolerates removal of
+     the current key, so expired connections close in-place — same
+     close order as the old snapshot-and-sort, without the snapshot. *)
+  Fd_map.iter t.conns (fun fd conn ->
+      if Conn.last_activity conn <= cutoff then begin
+        ignore (Kernel.close (cur_proc t) fd);
+        drop_conn t fd;
+        t.stats.Server_stats.timed_out_conns <- t.stats.Server_stats.timed_out_conns + 1
+      end);
   t.next_sweep <- Time.add (now t) t.config.sweep_period
 
 (* Move one descriptor from the signal worker's table to the poll
@@ -159,14 +154,11 @@ let overflow_recovery t ~k =
   let host = Process.host t.proc in
   let per_fd = Time.add t.config.handoff_cost_per_conn t.config.rebuild_cost_per_conn in
   (* Handoff in ascending-fd order: each transfer costs simulated CPU,
-     so the order is simulation-visible and must not depend on the
-     Hashtbl's insertion history. *)
-  let entries =
-    List.sort
-      (fun (a, _) (b, _) -> Int.compare a b)
-      (Hashtbl.fold (fun fd conn acc -> (fd, conn) :: acc) t.conns [])
-  in
-  Hashtbl.reset t.conns;
+     so the order is simulation-visible. Fd_map.to_list is already in
+     that order; the snapshot survives the clear because transfers
+     re-insert under the sibling's fd numbers as they complete. *)
+  let entries = Fd_map.to_list t.conns in
+  Fd_map.clear t.conns;
   let rec go work =
     match work with
     | [] ->
@@ -189,7 +181,7 @@ let overflow_recovery t ~k =
         Host.charge_run host ~cost:per_fd (fun () ->
             (match transfer_fd t ~backend fd with
             | Some (_, new_fd, _) ->
-                Hashtbl.replace t.conns new_fd (Conn.with_fd conn ~fd:new_fd)
+                Fd_map.set t.conns new_fd (Conn.with_fd conn ~fd:new_fd)
             | None -> ());
             go rest)
   in
@@ -259,7 +251,7 @@ let start ~proc ?(config = default_config) () =
           config;
           listen_fd;
           listener;
-          conns = Hashtbl.create 256;
+          conns = Fd_map.create ~initial_capacity:256 ();
           stats = Server_stats.create ~sample_interval:config.sample_interval ();
           mode = Signals;
           handing_off = false;
@@ -274,7 +266,7 @@ let start ~proc ?(config = default_config) () =
 
 let listener t = t.listener
 let stats t = t.stats
-let connection_count t = Hashtbl.length t.conns
+let connection_count t = Fd_map.length t.conns
 let mode t = t.mode
 let is_handing_off t = t.handing_off
 let sibling t = t.sibling

@@ -6,8 +6,9 @@ type t = {
   host : Host.t;
   lookup : int -> Socket.t option;
   table : Interest_table.t;
-  subs : (int, sub) Hashtbl.t; (* fd -> backmap subscription *)
+  subs : sub Fd_map.t; (* fd -> backmap subscription *)
   wq : Socket.waiter Wait_queue.t; (* sleepers inside dp_poll *)
+  ready : Poll.result Ready_buffer.t; (* reused by every scan *)
   mutable result_slots : int option;
   mutable closed : bool;
 }
@@ -17,8 +18,9 @@ let create ~host ~lookup =
     host;
     lookup;
     table = Interest_table.create ();
-    subs = Hashtbl.create 64;
+    subs = Fd_map.create ~initial_capacity:64 ();
     wq = Wait_queue.create ();
+    ready = Ready_buffer.create ~initial_capacity:64 ();
     result_slots = None;
     closed = false;
   }
@@ -46,14 +48,14 @@ let subscribe t fd (sock : Socket.t) =
         | None -> ());
         wake_sleepers t mask)
   in
-  Hashtbl.replace t.subs fd { sock_id = Socket.id sock; socket = sock; token }
+  Fd_map.set t.subs fd { sock_id = Socket.id sock; socket = sock; token }
 
 let unsubscribe t fd =
-  match Hashtbl.find_opt t.subs fd with
+  match Fd_map.find t.subs fd with
   | None -> ()
   | Some sub ->
       Socket.unsubscribe sub.socket sub.token;
-      Hashtbl.remove t.subs fd
+      ignore (Fd_map.remove t.subs fd)
 
 let write t entries =
   check_open t;
@@ -73,7 +75,7 @@ let write t entries =
         ignore (Interest_table.set t.table ~fd ~events);
         match t.lookup fd with
         | Some sock -> (
-            match Hashtbl.find_opt t.subs fd with
+            match Fd_map.find t.subs fd with
             | Some sub when sub.sock_id = Socket.id sock -> ()
             | Some _ ->
                 unsubscribe t fd;
@@ -111,7 +113,7 @@ let probe t (interest : Interest_table.interest) =
   | None -> Pollmask.pollnval
   | Some sock ->
       (* Descriptor reuse: rebind the backmap to the new socket. *)
-      (match Hashtbl.find_opt t.subs fd with
+      (match Fd_map.find t.subs fd with
       | Some sub when sub.sock_id = Socket.id sock -> ()
       | Some _ | None ->
           unsubscribe t fd;
@@ -147,17 +149,20 @@ let probe t (interest : Interest_table.interest) =
       in
       Pollmask.inter st (Pollmask.union interest.Interest_table.events forced)
 
+(* Fill the reusable result buffer, stopping — probes and table walk
+   both — the moment it is full. Returns the ready count; the buffer
+   stays valid until the next scan on this instance. *)
 let scan t ~max_results =
-  let results =
-    Interest_table.fold t.table ~init:[] ~f:(fun acc interest ->
-        if List.length acc >= max_results then acc
-        else begin
-          let revents = probe t interest in
-          if Pollmask.is_empty revents then acc
-          else { Poll.fd = interest.Interest_table.fd; revents } :: acc
-        end)
-  in
-  List.rev results
+  Ready_buffer.clear t.ready;
+  Interest_table.iter_while t.table ~f:(fun interest ->
+      if Ready_buffer.length t.ready >= max_results then false
+      else begin
+        let revents = probe t interest in
+        if not (Pollmask.is_empty revents) then
+          Ready_buffer.push t.ready { Poll.fd = interest.Interest_table.fd; revents };
+        true
+      end);
+  Ready_buffer.length t.ready
 
 let dp_poll t ~max_results ~timeout ~k =
   check_open t;
@@ -174,13 +179,15 @@ let dp_poll t ~max_results ~timeout ~k =
            (Time.mul costs.Cost_model.poll_copyout_per_ready (List.length results)));
     Host.charge_run t.host ~cost:Time.zero (fun () -> k results)
   in
+  (* The reusable buffer must be materialized before [finish] hands
+     control away: the continuation may re-enter dp_poll and rescan. *)
+  let finish_ready () = finish (Ready_buffer.to_list t.ready) in
   let cap =
     match t.result_slots with
     | Some slots -> Stdlib.min max_results slots
     | None -> max_results
   in
-  let first = scan t ~max_results:cap in
-  if first <> [] then finish first
+  if scan t ~max_results:cap > 0 then finish_ready ()
   else
     match timeout with
     | Some x when x <= Time.zero -> finish []
@@ -199,8 +206,7 @@ let dp_poll t ~max_results ~timeout ~k =
         in
         let rec on_wake _mask =
           cleanup ();
-          let results = scan t ~max_results:cap in
-          if results <> [] then finish results
+          if scan t ~max_results:cap > 0 then finish_ready ()
           else begin
             let w = { Socket.wake = on_wake } in
             waiter_ref := Some w;
@@ -229,12 +235,8 @@ let find_interest t fd = Interest_table.find t.table fd
 
 let close t =
   if not t.closed then begin
-    (* Teardown: every subscription is unsubscribed and the table
-       reset, so the visit order cannot reach simulation-visible
-       state. *)
-    (Hashtbl.iter (fun _ sub -> Socket.unsubscribe sub.socket sub.token) t.subs
-    [@lint.ignore "teardown unsubscribes everything; order is not observable"]);
-    Hashtbl.reset t.subs;
+    Fd_map.iter t.subs (fun _ sub -> Socket.unsubscribe sub.socket sub.token);
+    Fd_map.clear t.subs;
     t.closed <- true
   end
 

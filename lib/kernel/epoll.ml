@@ -16,7 +16,7 @@ type interest = {
 type t = {
   host : Host.t;
   lookup : int -> Socket.t option;
-  interests : (int, interest) Hashtbl.t;
+  interests : interest Fd_map.t;
   ready : int Queue.t;
   wq : Socket.waiter Wait_queue.t;
   mutable closed : bool;
@@ -26,7 +26,7 @@ let create ~host ~lookup =
   {
     host;
     lookup;
-    interests = Hashtbl.create 64;
+    interests = Fd_map.create ~initial_capacity:64 ();
     ready = Queue.create ();
     wq = Wait_queue.create ();
     closed = false;
@@ -64,7 +64,7 @@ let charge_ctl t =
 
 let ctl_add t ~fd ~events ?(trigger = Level) () =
   charge_ctl t;
-  if Hashtbl.mem t.interests fd then Error `Eexist
+  if Fd_map.mem t.interests fd then Error `Eexist
   else
     match t.lookup fd with
     | None -> Error `Ebadf
@@ -91,7 +91,7 @@ let ctl_add t ~fd ~events ?(trigger = Level) () =
           }
         in
         interest_ref := Some interest;
-        Hashtbl.replace t.interests fd interest;
+        Fd_map.set t.interests fd interest;
         (* No lost startup events: if already ready, queue now. *)
         let st = Socket.status socket in
         if Pollmask.intersects st (Pollmask.union events forced) then begin
@@ -103,7 +103,7 @@ let ctl_add t ~fd ~events ?(trigger = Level) () =
 
 let ctl_mod t ~fd ~events =
   charge_ctl t;
-  match Hashtbl.find_opt t.interests fd with
+  match Fd_map.find t.interests fd with
   | None -> Error `Enoent
   | Some interest ->
       interest.events <- events;
@@ -120,11 +120,11 @@ let ctl_mod t ~fd ~events =
 
 let ctl_del t ~fd =
   charge_ctl t;
-  match Hashtbl.find_opt t.interests fd with
+  match Fd_map.find t.interests fd with
   | None -> Error `Enoent
   | Some interest ->
       Socket.unsubscribe interest.socket interest.token;
-      Hashtbl.remove t.interests fd;
+      ignore (Fd_map.remove t.interests fd);
       (* A stale ready-list entry is dropped lazily at the next wait. *)
       Ok ()
 
@@ -137,7 +137,7 @@ let harvest t ~max_events =
   let continue = ref true in
   while !continue && !n < max_events && not (Queue.is_empty t.ready) do
     let fd = Queue.take t.ready in
-    match Hashtbl.find_opt t.interests fd with
+    match Fd_map.find t.interests fd with
     | None -> () (* deleted while queued *)
     | Some interest -> (
         interest.queued <- false;
@@ -150,7 +150,7 @@ let harvest t ~max_events =
             (* fd reused by a different socket; epoll keys on the open
                file, so the old interest is dead. *)
             Socket.unsubscribe interest.socket interest.token;
-            Hashtbl.remove t.interests fd
+            ignore (Fd_map.remove t.interests fd)
         | Some sock ->
             let st = Socket.driver_poll sock in
             let revents =
@@ -236,16 +236,13 @@ let wait t ~max_events ~timeout ~k =
         Wait_queue.register t.wq w;
         arm_timer ()
 
-let interest_count t = Hashtbl.length t.interests
+let interest_count t = Fd_map.length t.interests
 let ready_count t = Queue.length t.ready
 
 let close t =
   if not t.closed then begin
-    (* Teardown: every interest is unsubscribed and the table reset,
-       so the visit order cannot reach simulation-visible state. *)
-    (Hashtbl.iter (fun _ i -> Socket.unsubscribe i.socket i.token) t.interests
-    [@lint.ignore "teardown unsubscribes everything; order is not observable"]);
-    Hashtbl.reset t.interests;
+    Fd_map.iter t.interests (fun _ i -> Socket.unsubscribe i.socket i.token);
+    Fd_map.clear t.interests;
     Queue.clear t.ready;
     t.closed <- true
   end

@@ -1,23 +1,25 @@
+open Sio_sim
+
 type 'a t = {
   limit : int;
-  slots : (int, 'a) Hashtbl.t;
+  slots : 'a Fd_map.t;
   mutable search_from : int; (* lower bound on the lowest free slot *)
 }
 
 let create ?(limit = 1024) () =
   if limit <= 0 then invalid_arg "Fd_table.create: limit must be positive";
-  { limit; slots = Hashtbl.create 64; search_from = 0 }
+  { limit; slots = Fd_map.create ~initial_capacity:64 (); search_from = 0 }
 
 let limit t = t.limit
 
 let alloc t v =
-  if Hashtbl.length t.slots >= t.limit then Error `Emfile
+  if Fd_map.length t.slots >= t.limit then Error `Emfile
   else begin
     (* search_from is maintained as a lower bound: it only moves back
        on close, so this scan is amortized O(1). *)
-    let rec find_free fd = if Hashtbl.mem t.slots fd then find_free (fd + 1) else fd in
+    let rec find_free fd = if Fd_map.mem t.slots fd then find_free (fd + 1) else fd in
     let fd = find_free t.search_from in
-    Hashtbl.replace t.slots fd v;
+    Fd_map.set t.slots fd v;
     t.search_from <- fd + 1;
     Ok fd
   end
@@ -27,7 +29,7 @@ let alloc_exn t v =
   | Ok fd -> fd
   | Error `Emfile -> failwith "Fd_table.alloc_exn: out of descriptors"
 
-let find t fd = Hashtbl.find_opt t.slots fd
+let find t fd = Fd_map.find t.slots fd
 
 let find_exn t fd =
   match find t fd with
@@ -35,28 +37,23 @@ let find_exn t fd =
   | None -> invalid_arg (Printf.sprintf "Fd_table.find_exn: fd %d not open" fd)
 
 let set t fd v =
-  if not (Hashtbl.mem t.slots fd) then
+  if not (Fd_map.mem t.slots fd) then
     invalid_arg (Printf.sprintf "Fd_table.set: fd %d not open" fd)
-  else Hashtbl.replace t.slots fd v
+  else Fd_map.set t.slots fd v
 
 let close t fd =
-  match Hashtbl.find_opt t.slots fd with
+  match Fd_map.find t.slots fd with
   | None -> None
   | Some v ->
-      Hashtbl.remove t.slots fd;
+      ignore (Fd_map.remove t.slots fd);
       if fd < t.search_from then t.search_from <- fd;
       Some v
 
-let is_open t fd = Hashtbl.mem t.slots fd
-let count t = Hashtbl.length t.slots
-(* [iter]/[fold] expose Hashtbl bucket order to their callers: any
-   caller that lets the order escape into simulation-visible
-   behaviour must sort first (the linter flags raw Hashtbl use at the
-   call sites that matter). *)
-let iter t f =
-  (Hashtbl.iter f t.slots
-  [@lint.ignore "order-exposing wrapper; callers must sort before order escapes"])
+let is_open t fd = Fd_map.mem t.slots fd
+let count t = Fd_map.length t.slots
 
-let fold t ~init ~f =
-  (Hashtbl.fold (fun fd v acc -> f acc fd v) t.slots init
-  [@lint.ignore "order-exposing wrapper; callers must sort before order escapes"])
+(* Fd_map iterates in ascending fd order — a function of the open set
+   alone, never of allocation history — so letting the order escape to
+   callers is deterministic by construction. *)
+let iter t f = Fd_map.iter t.slots f
+let fold t ~init ~f = Fd_map.fold t.slots ~init ~f:(fun acc fd v -> f acc fd v)

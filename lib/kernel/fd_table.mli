@@ -33,5 +33,12 @@ val close : 'a t -> int -> 'a option
 
 val is_open : 'a t -> int -> bool
 val count : 'a t -> int
+
 val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visits open descriptors in ascending fd order (backed by
+    {!Sio_sim.Fd_map}): deterministic, a function of the open set
+    alone. Removal of the current or any later descriptor from inside
+    the callback is well-defined. *)
+
 val fold : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Ascending-fd fold; same ordering guarantee as {!iter}. *)

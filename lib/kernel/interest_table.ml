@@ -75,6 +75,12 @@ let remove t fd =
 
 let iter t f = Array.iter (fun chain -> List.iter f chain) t.buckets
 
+let iter_while t ~f =
+  let n = Array.length t.buckets in
+  let rec go_chain = function [] -> true | i :: rest -> f i && go_chain rest in
+  let rec go_bucket b = b >= n || (go_chain t.buckets.(b) && go_bucket (b + 1)) in
+  ignore (go_bucket 0)
+
 let fold t ~init ~f =
   Array.fold_left (fun acc chain -> List.fold_left f acc chain) init t.buckets
 

@@ -44,5 +44,10 @@ val remove : t -> int -> bool
 val iter : t -> (interest -> unit) -> unit
 (** Iterates in unspecified order. *)
 
+val iter_while : t -> f:(interest -> bool) -> unit
+(** [iter_while t ~f] visits interests (same order as {!iter}) until
+    [f] answers [false] — the early exit DP_POLL needs once its
+    result buffer is full, instead of walking the rest of the table. *)
+
 val fold : t -> init:'a -> f:('a -> interest -> 'a) -> 'a
 val mean_bucket_occupancy : t -> float

@@ -13,10 +13,13 @@ let scan_cost ~host ~n_interests =
 
 (* One pass over the interest list, asking each driver for status.
    The driver-callback cost is charged inside [Socket.driver_poll];
-   missing descriptors only cost the copy-in. *)
-let scan ~host ~lookup ~interests =
+   missing descriptors only cost the copy-in. Results accumulate into
+   the caller's reusable buffer (cleared here), so the rescan-per-wake
+   loop below allocates nothing per pass. *)
+let scan ~host ~lookup ~interests ~ready =
   let costs = host.Host.costs in
-  List.filter_map
+  Ready_buffer.clear ready;
+  List.iter
     (fun (fd, events) ->
       ignore (Host.charge host costs.Cost_model.poll_copyin_per_fd);
       let revents =
@@ -25,22 +28,24 @@ let scan ~host ~lookup ~interests =
         | Some sock ->
             Pollmask.inter (Socket.driver_poll sock) (Pollmask.union events forced)
       in
-      if Pollmask.is_empty revents then None else Some { fd; revents })
-    interests
+      if not (Pollmask.is_empty revents) then Ready_buffer.push ready { fd; revents })
+    interests;
+  Ready_buffer.length ready
 
 let wait ~host ~lookup ~interests ~timeout ~k =
   let costs = host.Host.costs in
   let counters = host.Host.counters in
   counters.Host.syscalls <- counters.Host.syscalls + 1;
   ignore (Host.charge host costs.Cost_model.syscall_entry);
+  let ready = Ready_buffer.create ~initial_capacity:16 () in
   let finish results =
     ignore
       (Host.charge host
          (Time.mul costs.Cost_model.poll_copyout_per_ready (List.length results)));
     Host.charge_run host ~cost:Time.zero (fun () -> k results)
   in
-  let first = scan ~host ~lookup ~interests in
-  if first <> [] then finish first
+  let finish_ready () = finish (Ready_buffer.to_list ready) in
+  if scan ~host ~lookup ~interests ~ready > 0 then finish_ready ()
   else
     match timeout with
     | Some t when t <= Time.zero -> finish []
@@ -65,8 +70,7 @@ let wait ~host ~lookup ~interests ~timeout ~k =
         let rec on_wake _mask =
           cleanup ();
           (* Wakeup rescans the whole set, as Linux 2.2 does. *)
-          let results = scan ~host ~lookup ~interests in
-          if results <> [] then finish results
+          if scan ~host ~lookup ~interests ~ready > 0 then finish_ready ()
           else begin
             (* Spurious wakeup (event consumed elsewhere): sleep again. *)
             let w = { Socket.wake = on_wake } in

@@ -62,11 +62,14 @@ let select ~host ~lookup ~read ~write ~except ~timeout ~k =
   counters.Host.syscalls <- counters.Host.syscalls + 1;
   ignore (Host.charge host costs.Cost_model.syscall_entry);
   let finish result = Host.charge_run host ~cost:Time.zero (fun () -> k result) in
+  (* Dedup against the bitmaps already in hand (O(1) per fd) instead
+     of a List.mem walk over the accumulator (O(members²)). *)
   let members () =
     let fds = ref [] in
     Fd_set.iter read (fun fd -> fds := fd :: !fds);
-    Fd_set.iter write (fun fd -> if not (List.mem fd !fds) then fds := fd :: !fds);
-    Fd_set.iter except (fun fd -> if not (List.mem fd !fds) then fds := fd :: !fds);
+    Fd_set.iter write (fun fd -> if not (Fd_set.mem read fd) then fds := fd :: !fds);
+    Fd_set.iter except (fun fd ->
+        if not (Fd_set.mem read fd || Fd_set.mem write fd) then fds := fd :: !fds);
     List.filter_map lookup !fds
   in
   let first, ready = scan ~host ~lookup ~read ~write ~except in

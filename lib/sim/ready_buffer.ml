@@ -1,0 +1,45 @@
+type 'a t = {
+  initial_capacity : int;
+  mutable data : 'a array; (* physical storage; [len] live slots *)
+  mutable len : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  { initial_capacity = Stdlib.max 1 initial_capacity; data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let clear t = t.len <- 0
+
+let ensure_room t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (Stdlib.max t.initial_capacity (2 * cap)) x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_room t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ready_buffer.get: index out of bounds";
+  t.data.(i)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in
+  go (t.len - 1) []

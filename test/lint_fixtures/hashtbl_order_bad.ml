@@ -6,3 +6,12 @@ let dispatch tbl f = Hashtbl.iter (fun fd _ -> f fd) tbl
 let sorted_too_late tbl =
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
   List.sort compare rows
+
+(* Rebuilding into an Fd_map only launders the order when it is the
+   whole callback body; trailing code still observes the order. *)
+let rebuild_and_log tbl dst =
+  Hashtbl.iter
+    (fun fd conn ->
+      Fd_map.set dst fd conn;
+      print_int fd)
+    tbl

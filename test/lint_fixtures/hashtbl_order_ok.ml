@@ -7,3 +7,11 @@ let piped tbl = Hashtbl.fold (fun fd _ acc -> fd :: acc) tbl [] |> List.sort com
 let teardown tbl f =
   (Hashtbl.iter (fun fd _ -> f fd) tbl
   [@lint.ignore "teardown releases everything; order is not observable"])
+
+(* Pouring every element into an Fd_map canonicalizes the order away:
+   the ordered container iterates ascending regardless of how it was
+   filled, so the enumeration order cannot escape. *)
+let rebuild tbl dst = Hashtbl.iter (fun fd conn -> Fd_map.set dst fd conn) tbl
+
+let rebuild_qualified tbl dst =
+  Hashtbl.fold (fun fd conn () -> Sio_sim.Fd_map.set dst fd conn) tbl ()

@@ -1,0 +1,60 @@
+(* Sio_sim.Ready_buffer: push-order faithfulness, clear/reuse
+   semantics, growth, and bounds checking. *)
+
+open Sio_sim
+
+let test_empty () =
+  let b : int Ready_buffer.t = Ready_buffer.create () in
+  Alcotest.(check int) "length" 0 (Ready_buffer.length b);
+  Alcotest.(check bool) "is_empty" true (Ready_buffer.is_empty b);
+  Alcotest.(check (list int)) "to_list" [] (Ready_buffer.to_list b)
+
+let test_push_order () =
+  let b = Ready_buffer.create ~initial_capacity:2 () in
+  (* Push past the initial capacity to force growth. *)
+  List.iter (Ready_buffer.push b) [ 5; 1; 9; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Ready_buffer.length b);
+  Alcotest.(check bool) "not empty" false (Ready_buffer.is_empty b);
+  Alcotest.(check (list int)) "push order, duplicates kept" [ 5; 1; 9; 1; 3 ]
+    (Ready_buffer.to_list b);
+  Alcotest.(check int) "get 0" 5 (Ready_buffer.get b 0);
+  Alcotest.(check int) "get last" 3 (Ready_buffer.get b 4);
+  let seen = ref [] in
+  Ready_buffer.iter b (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "iter order" [ 5; 1; 9; 1; 3 ] (List.rev !seen);
+  Alcotest.(check int) "fold sum" 19 (Ready_buffer.fold b ~init:0 ~f:( + ))
+
+let test_get_bounds () =
+  let b = Ready_buffer.create () in
+  Ready_buffer.push b 42;
+  Alcotest.check_raises "past end" (Invalid_argument "Ready_buffer.get: index out of bounds") (fun () ->
+      ignore (Ready_buffer.get b 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Ready_buffer.get: index out of bounds") (fun () ->
+      ignore (Ready_buffer.get b (-1)))
+
+let test_clear_and_reuse () =
+  let b = Ready_buffer.create ~initial_capacity:1 () in
+  List.iter (Ready_buffer.push b) [ 1; 2; 3 ];
+  Ready_buffer.clear b;
+  Alcotest.(check int) "cleared" 0 (Ready_buffer.length b);
+  Alcotest.(check (list int)) "no stale contents" [] (Ready_buffer.to_list b);
+  Alcotest.check_raises "stale slot unreadable" (Invalid_argument "Ready_buffer.get: index out of bounds")
+    (fun () -> ignore (Ready_buffer.get b 0));
+  (* The scan loop pattern: clear-then-refill, many times over. *)
+  for round = 1 to 3 do
+    Ready_buffer.clear b;
+    for i = 1 to round do
+      Ready_buffer.push b (round * 10 + i)
+    done;
+    Alcotest.(check int) (Printf.sprintf "round %d length" round) round
+      (Ready_buffer.length b)
+  done;
+  Alcotest.(check (list int)) "last round only" [ 31; 32; 33 ] (Ready_buffer.to_list b)
+
+let suite =
+  [
+    Alcotest.test_case "empty buffer" `Quick test_empty;
+    Alcotest.test_case "push order and growth" `Quick test_push_order;
+    Alcotest.test_case "get bounds checking" `Quick test_get_bounds;
+    Alcotest.test_case "clear and reuse" `Quick test_clear_and_reuse;
+  ]
