@@ -6,7 +6,7 @@
 JOBS ?= 0
 SMOKE_SCALE ?= 0.02
 
-.PHONY: build test lint check bench bench-micro bench-smoke bench-wallclock clean
+.PHONY: build test lint lint-audit check bench bench-micro bench-smoke bench-wallclock clean
 
 build:
 	dune build
@@ -21,10 +21,19 @@ test:
 lint: build
 	dune exec bin/sio_lint.exe -- lib bin bench examples
 
-# Tier-1 verify plus lint and a tiny wall-clock smoke: build + full
-# test suite + static analysis + sequential-vs-parallel byte-identity.
+# Suppression audit: list every [@lint.ignore] site, then fail if any
+# of them is stale (its removal would produce zero findings — the
+# hazard it excused is gone, so the annotation must go too).
+lint-audit: build
+	dune exec bin/sio_lint.exe -- --audit-ignores lib bin bench examples
+	dune exec bin/sio_lint.exe -- --rule stale-ignore lib bin bench examples
+
+# Tier-1 verify plus lint (including the suppression audit) and a tiny
+# wall-clock smoke: build + full test suite + static analysis +
+# sequential-vs-parallel byte-identity.
 check:
 	dune build && dune runtest && dune exec bin/sio_lint.exe -- lib bin bench examples
+	$(MAKE) lint-audit
 	$(MAKE) bench-smoke
 
 # The full benchmark harness (micro + opcost + ablations + figures).

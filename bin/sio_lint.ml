@@ -1,31 +1,63 @@
 (* sio_lint — determinism & domain-safety static analyzer.
 
    Parses every .ml under the given roots (default: lib bin bench
-   examples) and enforces the repository's invariants as named,
-   individually-suppressable rules. Exit status: 0 clean, 1 findings,
-   2 usage or I/O error. *)
+   examples), builds one whole-program context (symbol index + call
+   graph + reachability fixpoints), and enforces the repository's
+   invariants as named, individually-suppressable rules. Exit status:
+   0 clean, 1 findings, 2 usage or I/O error. *)
 
 open Sio_analysis
 
 let usage =
-  "usage: sio_lint [--rule ID]... [--list-rules] [--json] [path]...\n\
+  "usage: sio_lint [--rule ID]... [--list-rules] [--format text|json|sarif]\n\
+  \       [--callgraph json|dot] [--audit-ignores] [path]...\n\
    Static analysis for scalanio: determinism, domain-safety and\n\
    cost-accounting invariants. With no paths, scans lib bin bench\n\
-   examples under the current directory."
+   examples under the current directory.\n\
+  \  --callgraph     dump the resolved cross-module call graph and exit\n\
+  \  --audit-ignores list every [@lint.ignore] suppression site and exit"
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
+type format = Text | Json | Sarif
+
 let () =
   let rule_ids = ref [] in
-  let json = ref false in
+  let format = ref Text in
   let list_rules = ref false in
+  let callgraph = ref None in
+  let audit_ignores = ref false in
   let paths = ref [] in
+  let bad_usage fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "sio_lint: %s\n" msg;
+        exit 2)
+      fmt
+  in
   let spec =
     [
       ( "--rule",
         Arg.String (fun s -> rule_ids := s :: !rule_ids),
         "ID run only this rule (repeatable; see --list-rules)" );
-      ("--json", Arg.Set json, " emit findings as a JSON array for CI");
+      ( "--format",
+        Arg.String
+          (function
+          | "text" -> format := Text
+          | "json" -> format := Json
+          | "sarif" -> format := Sarif
+          | f -> bad_usage "unknown format %S (expected text, json or sarif)" f),
+        "FMT findings output: text (default), json, or sarif" );
+      ("--json", Arg.Unit (fun () -> format := Json), " shorthand for --format json");
+      ( "--callgraph",
+        Arg.String
+          (function
+          | ("json" | "dot") as f -> callgraph := Some f
+          | f -> bad_usage "unknown callgraph format %S (expected json or dot)" f),
+        "FMT dump the call graph as json or dot, then exit" );
+      ( "--audit-ignores",
+        Arg.Set audit_ignores,
+        " list every [@lint.ignore] site (file:line:col: reason), then exit" );
       ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
     ]
   in
@@ -44,9 +76,7 @@ let () =
           (fun id ->
             match Driver.find_rule id with
             | Some r -> r
-            | None ->
-                Printf.eprintf "sio_lint: unknown rule %S (try --list-rules)\n" id;
-                exit 2)
+            | None -> bad_usage "unknown rule %S (try --list-rules)" id)
           ids
   in
   let roots =
@@ -55,19 +85,38 @@ let () =
     | ps ->
         List.iter
           (fun p ->
-            if not (Sys.file_exists p) then begin
-              Printf.eprintf "sio_lint: no such file or directory: %s\n" p;
-              exit 2
-            end)
+            if not (Sys.file_exists p) then
+              bad_usage "no such file or directory: %s" p)
           ps;
         ps
   in
-  let findings = Driver.analyze_paths ~rules roots in
-  if !json then
-    print_endline
-      ("[" ^ String.concat "," (List.map Finding.to_json findings) ^ "]")
-  else List.iter (fun f -> print_endline (Finding.to_string f)) findings;
-  if findings <> [] then begin
-    Printf.eprintf "sio_lint: %d finding(s)\n" (List.length findings);
-    exit 1
-  end
+  match !callgraph with
+  | Some fmt ->
+      let loaded = Driver.load roots in
+      let graph = Callgraph.build (Symbol_index.build loaded.Driver.parsed) in
+      print_endline
+        (match fmt with "dot" -> Callgraph.to_dot graph | _ -> Callgraph.to_json graph)
+  | None ->
+      if !audit_ignores then begin
+        let loaded = Driver.load roots in
+        loaded.Driver.parsed
+        |> List.concat_map (fun (file, str) ->
+               List.map (fun (s : Ignores.site) -> (file, s)) (Ignores.collect str))
+        |> List.sort compare
+        |> List.iter (fun (file, (s : Ignores.site)) ->
+               Printf.printf "%s:%d:%d: %s\n" file s.line s.col
+                 (Option.value s.reason ~default:"(no reason)"))
+      end
+      else begin
+        let findings = Driver.analyze_paths ~rules roots in
+        (match !format with
+        | Text -> List.iter (fun f -> print_endline (Finding.to_string f)) findings
+        | Json ->
+            print_endline
+              ("[" ^ String.concat "," (List.map Finding.to_json findings) ^ "]")
+        | Sarif -> print_string (Sarif.render ~rules:Driver.all_rules findings));
+        if findings <> [] then begin
+          Printf.eprintf "sio_lint: %d finding(s)\n" (List.length findings);
+          exit 1
+        end
+      end

@@ -1,0 +1,86 @@
+(* Cross-module call graph over the symbol index.
+
+   One node per indexed definition (keyed by the symbol's uid, so two
+   files that happen to share a module name stay distinct). An edge
+   exists when a definition's body mentions an ident that resolves to
+   another indexed definition — mention, not proven application: a
+   function passed as a value can still be invoked on the far side, so
+   mention-as-edge is the conservative choice for reachability.
+   Applications whose head does not resolve (a parameter, a stdlib
+   call, a lambda) are kept per-node in [unresolved]: the analyses
+   never assume anything about what such a call does. *)
+
+module SMap = Map.Make (String)
+
+type node = {
+  id : string;  (** symbol uid, "file#Module.name" *)
+  name : string;  (** dotted qualified name for display *)
+  file : string;
+  line : int;
+  callees : string list;  (** sorted uids of resolved mentions *)
+  unresolved : string list;  (** sorted call heads that resolve to nothing *)
+}
+
+type t = { nodes : node list; by_id : node SMap.t }
+
+let build (index : Symbol_index.t) =
+  let nodes =
+    List.map
+      (fun (s : Symbol_index.symbol) ->
+        let current_module = match s.qname with m :: _ -> m | [] -> "" in
+        let callees =
+          s.mentions
+          |> List.concat_map (fun p -> Symbol_index.resolve index ~current_module p)
+          |> List.map (fun (c : Symbol_index.symbol) -> c.uid)
+          |> List.sort_uniq String.compare
+        in
+        let unresolved =
+          (s.app_heads
+          |> List.filter (fun p -> Symbol_index.resolve index ~current_module p = [])
+          |> List.map (String.concat "."))
+          @ (if s.has_opaque_call then [ "<fun>" ] else [])
+          |> List.sort_uniq String.compare
+        in
+        {
+          id = s.uid;
+          name = String.concat "." s.qname;
+          file = s.file;
+          line = s.line;
+          callees;
+          unresolved;
+        })
+      index.symbols
+  in
+  let by_id = List.fold_left (fun m n -> SMap.add n.id n m) SMap.empty nodes in
+  { nodes; by_id }
+
+let find t id = SMap.find_opt id t.by_id
+let callees t id = match find t id with Some n -> n.callees | None -> []
+let display t id = match find t id with Some n -> n.name | None -> id
+
+let to_json t =
+  let node_json n =
+    let strings l = String.concat "," (List.map (fun s -> "\"" ^ Finding.json_escape s ^ "\"") l) in
+    Printf.sprintf
+      {|{"id":"%s","name":"%s","file":"%s","line":%d,"callees":[%s],"unresolved":[%s]}|}
+      (Finding.json_escape n.id) (Finding.json_escape n.name) (Finding.json_escape n.file)
+      n.line (strings n.callees) (strings n.unresolved)
+  in
+  "{\"nodes\":[\n" ^ String.concat ",\n" (List.map node_json t.nodes) ^ "\n]}"
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\\n%s:%d\"];\n" n.id n.name n.file n.line))
+    t.nodes;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" n.id c))
+        n.callees)
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

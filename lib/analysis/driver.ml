@@ -1,14 +1,21 @@
-(* Parse .ml files with ppxlib's parser and run the rule set over
-   them. Findings are sorted (file, line, col, rule) so output is
-   stable no matter how the filesystem enumerates directories. *)
+(* Parse .ml files with ppxlib's parser, build the whole-program
+   context (symbol index + call graph + reachability fixpoints) once,
+   and run the rule set over every file against it. Findings are
+   sorted (file, line, col, rule) so output is stable no matter how
+   the filesystem enumerates directories. *)
 
-let all_rules =
+let base_rules =
   [
     Rule_clock.rule;
     Rule_hashtbl_order.rule;
     Rule_domain_state.rule;
     Rule_syscall_cost.rule;
   ]
+
+(* stale-ignore shadow-runs the other rules with suppressions
+   stripped, so it is parameterised by them rather than registered
+   among them. *)
+let all_rules = base_rules @ [ Rule_stale_ignore.make ~others:base_rules ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.Rule.id id) all_rules
 
@@ -21,23 +28,14 @@ let parse_impl path =
       Lexing.set_filename lexbuf path;
       Ppxlib.Parse.implementation lexbuf)
 
-let analyze_file ?(rules = all_rules) path =
-  match parse_impl path with
-  | str ->
-      List.concat_map (fun r -> r.Rule.check ~path str) rules
-      |> List.sort Finding.compare
-  | exception e ->
-      (* A file the linter cannot parse is itself a finding: the tree
-         must stay analyzable. *)
-      [
-        {
-          Finding.file = path;
-          line = 1;
-          col = 0;
-          rule = "parse-error";
-          message = Printexc.to_string e;
-        };
-      ]
+let parse_error_finding path e =
+  {
+    Finding.file = path;
+    line = 1;
+    col = 0;
+    rule = "parse-error";
+    message = Printexc.to_string e;
+  }
 
 (* All .ml files under [root], depth-first, in sorted order. Build
    artifacts and VCS metadata are skipped. *)
@@ -53,8 +51,63 @@ let rec ml_files acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let analyze_paths ?rules paths =
+(* Light path normalization so the same tree reached through different
+   root spellings ("lib/", "./lib") produces one canonical file name,
+   and overlapping roots ("lib lib/kernel") cannot make a file appear
+   twice in the analysis (which double-reported every finding in it
+   and double-counted its symbols). *)
+let normalize_root p =
+  let p =
+    let rec drop_dot p =
+      if String.length p > 2 && String.equal (String.sub p 0 2) "./" then
+        drop_dot (String.sub p 2 (String.length p - 2))
+      else p
+    in
+    drop_dot p
+  in
+  let rec drop_slash p =
+    if String.length p > 1 && p.[String.length p - 1] = '/' then
+      drop_slash (String.sub p 0 (String.length p - 1))
+    else p
+  in
+  drop_slash p
+
+let files_under paths =
   paths
+  |> List.map normalize_root
   |> List.concat_map (fun p -> List.rev (ml_files [] p))
-  |> List.concat_map (fun file -> analyze_file ?rules file)
-  |> List.sort Finding.compare
+  |> List.sort_uniq String.compare
+
+type loaded = { parsed : (string * Ppxlib.structure) list; errors : Finding.t list }
+
+(* A file the linter cannot parse is itself a finding: the tree must
+   stay analyzable. Unparsable files are excluded from the context. *)
+let load paths =
+  let parsed, errors =
+    List.fold_left
+      (fun (ok, errs) file ->
+        match parse_impl file with
+        | str -> ((file, str) :: ok, errs)
+        | exception e -> (ok, parse_error_finding file e :: errs))
+      ([], []) (files_under paths)
+  in
+  { parsed = List.rev parsed; errors = List.rev errors }
+
+let run_rules rules ctx (file, str) =
+  List.concat_map (fun r -> r.Rule.check ~ctx ~path:file str) rules
+
+let analyze_paths ?(rules = all_rules) paths =
+  let { parsed; errors } = load paths in
+  let ctx = Context.build parsed in
+  errors @ List.concat_map (run_rules rules ctx) parsed |> List.sort Finding.compare
+
+(* Single-file analysis: the context contains just this file, so the
+   interprocedural rules stay conservative about everything outside
+   it. Used by the fixture goldens; [analyze_paths] is the real
+   entry. *)
+let analyze_file ?(rules = all_rules) path =
+  match parse_impl path with
+  | str ->
+      let ctx = Context.of_file path str in
+      run_rules rules ctx (path, str) |> List.sort Finding.compare
+  | exception e -> [ parse_error_finding path e ]

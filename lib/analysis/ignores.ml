@@ -1,0 +1,83 @@
+(* The [@lint.ignore] suppression surface: enumerate every annotation
+   in a file (for [--audit-ignores] and the stale-ignore rule) and
+   strip them all (for the shadow runs that ask "what would fire if
+   this file had no suppressions?"). Stripping preserves every
+   location, so shadow findings land at the same positions the real
+   run would report. *)
+
+open Ppxlib
+
+type site = {
+  line : int;  (** start of the annotated node *)
+  col : int;
+  end_line : int;
+  end_col : int;
+  reason : string option;
+}
+
+let reason_of_attr (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc = Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let find_attr attrs =
+  List.find_opt
+    (fun (a : attribute) -> String.equal a.attr_name.txt Symbol_index.ignore_name)
+    attrs
+
+let site_of ~loc attr =
+  let s = loc.Location.loc_start and e = loc.Location.loc_end in
+  {
+    line = s.Lexing.pos_lnum;
+    col = s.Lexing.pos_cnum - s.Lexing.pos_bol;
+    end_line = e.Lexing.pos_lnum;
+    end_col = e.Lexing.pos_cnum - e.Lexing.pos_bol;
+    reason = reason_of_attr attr;
+  }
+
+let collect str =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match find_attr e.pexp_attributes with
+        | Some a -> acc := site_of ~loc:e.pexp_loc a :: !acc
+        | None -> ());
+        super#expression e
+
+      method! value_binding vb =
+        (match find_attr vb.pvb_attributes with
+        | Some a -> acc := site_of ~loc:vb.pvb_loc a :: !acc
+        | None -> ());
+        super#value_binding vb
+    end
+  in
+  it#structure str;
+  List.sort (fun a b -> compare (a.line, a.col, a.end_line, a.end_col) (b.line, b.col, b.end_line, b.end_col)) !acc
+
+let strip str =
+  let not_ignore (a : attribute) =
+    not (String.equal a.attr_name.txt Symbol_index.ignore_name)
+  in
+  let m =
+    object
+      inherit Ast_traverse.map as super
+
+      method! expression e =
+        super#expression { e with pexp_attributes = List.filter not_ignore e.pexp_attributes }
+
+      method! value_binding vb =
+        super#value_binding
+          { vb with pvb_attributes = List.filter not_ignore vb.pvb_attributes }
+    end
+  in
+  m#structure str

@@ -1,0 +1,55 @@
+(* Deterministic reachability over a string-keyed graph.
+
+   The fixpoint every whole-program rule leans on: which definitions
+   are reachable from a given root set. The closure also records, for
+   each reached node, *which* root reached it first (the witness), so a
+   finding can name the call path that makes it real. Determinism:
+   roots are visited in sorted order and successors in the order the
+   caller provides (the callgraph keeps them sorted), so the witness
+   assignment is a pure function of the graph. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* Breadth-first closure: returns a map from every reachable node to
+   the root that first reached it (roots map to themselves). *)
+let closure ~succ ~roots =
+  let roots = List.sort_uniq String.compare roots in
+  let witness = ref SMap.empty in
+  let q = Queue.create () in
+  List.iter
+    (fun r ->
+      if not (SMap.mem r !witness) then begin
+        witness := SMap.add r r !witness;
+        Queue.add r q
+      end)
+    roots;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    let root = SMap.find n !witness in
+    List.iter
+      (fun m ->
+        if not (SMap.mem m !witness) then begin
+          witness := SMap.add m root !witness;
+          Queue.add m q
+        end)
+      (succ n)
+  done;
+  !witness
+
+(* List-level convenience over an explicit edge list, used by the
+   property tests: reachable nodes, sorted. Monotone in [edges] — any
+   superset of the edge set yields a superset of the result. *)
+let reachable ~edges ~roots =
+  let succ_map =
+    List.fold_left
+      (fun m (a, b) ->
+        SMap.update a (function None -> Some [ b ] | Some l -> Some (b :: l)) m)
+      SMap.empty edges
+  in
+  let succ n =
+    match SMap.find_opt n succ_map with
+    | Some l -> List.sort_uniq String.compare l
+    | None -> []
+  in
+  closure ~succ ~roots |> SMap.bindings |> List.map fst

@@ -1,31 +1,26 @@
 (* Rule plumbing shared by every check: the rule record itself, the
    [@lint.ignore "reason"] escape hatch, longident helpers, and a
    traversal class that tracks whether the current node sits under an
-   ignore annotation. *)
+   ignore annotation. Every rule receives the whole-program [Context]
+   so per-file checks and interprocedural proofs share one signature. *)
 
 open Ppxlib
 
 type t = {
   id : string;  (** stable rule id, used by [--rule] and in reports *)
   doc : string;  (** one-line description for [--list-rules] *)
-  check : path:string -> structure -> Finding.t list;
+  check : ctx:Context.t -> path:string -> structure -> Finding.t list;
 }
 
 (* The escape hatch. An attribute named [lint.ignore] on an
    expression or on a let-binding suppresses every rule for the whole
    subtree it annotates. A reason string is expected by convention:
-   [@lint.ignore "why this is safe"]. *)
-let ignore_name = "lint.ignore"
-
-let has_ignore (attrs : attributes) =
-  List.exists (fun (a : attribute) -> String.equal a.attr_name.txt ignore_name) attrs
-
-let rec path_of_lid = function
-  | Lident s -> [ s ]
-  | Ldot (l, s) -> path_of_lid l @ [ s ]
-  | Lapply _ -> []
-
-let lid_string lid = String.concat "." (path_of_lid lid)
+   [@lint.ignore "why this is safe"]. The stale-ignore rule audits the
+   other direction: a suppression masking nothing is itself a finding. *)
+let ignore_name = Symbol_index.ignore_name
+let has_ignore = Symbol_index.has_ignore
+let path_of_lid = Symbol_index.path_of_lid
+let lid_string = Symbol_index.lid_string
 
 (* AST iterator that maintains an ignore depth: [suppressed] is true
    whenever an enclosing expression or value binding carries

@@ -22,7 +22,7 @@ let clock_idents =
    allowed to live. *)
 let exempt_file path = String.equal (Filename.basename path) "rng.ml"
 
-let check ~path str =
+let check ~ctx:_ ~path str =
   if exempt_file path then []
   else begin
     let acc = ref [] in

@@ -1,72 +1,58 @@
-(* domain-safety: module-level mutable state must be Atomic.
+(* domain-safety: module-level mutable state must not be written from
+   Domain_pool task code — a real race check, not a per-file guess.
 
    Anything bound at module level lives once per program, and since
-   PR 1 library code runs on [Sio_sim.Domain_pool] workers: a plain
-   [ref]/[Hashtbl.t]/[Buffer.t] at the top of a module is shared,
-   unsynchronised state across domains. This is the rule that would
-   have caught the Socket/Tcp id-counter races at review time.
-   [Atomic.make] is accepted; state that is provably confined to one
-   domain can carry [@lint.ignore "reason"]. Only syntactically
-   recognisable constructors are flagged — a module-level record with
+   PR 1 library code runs on [Sio_sim.Domain_pool] workers. The old
+   rule flagged every module-level [ref]/[Hashtbl.t]/[Buffer.t]
+   declaration on sight; this one only fires when the whole-program
+   analysis finds an actual *write* ([:=], [<-], [Hashtbl.replace],
+   [Buffer.add_*], ...) to that binding inside code reachable from a
+   Domain_pool task root ([Domain_pool.submit]/[map], [Sweep.run],
+   [Figures.run] — the task closures live inside those bodies). A
+   write-once lookup table in a single-domain example is no longer a
+   false positive; an [include struct ... end] no longer hides state
+   (the index recurses into it). [Atomic.make] is the sanctioned
+   alternative; a binding that is provably confined can still carry
+   [@lint.ignore "reason"], audited by stale-ignore. Only syntactically
+   recognisable constructors are tracked — a module-level record with
    mutable fields needs type information we do not have. *)
-
-open Ppxlib
 
 let id = "module-state"
 
 let doc =
-  "module-level mutable state (ref/Hashtbl/Queue/Buffer/...) is shared across \
-   Domain_pool workers; use Atomic.t or annotate [@lint.ignore]"
+  "module-level mutable state (ref/Hashtbl/Queue/Buffer/...) written on a \
+   Domain_pool-reachable path races across workers; use Atomic.t or annotate \
+   the binding [@lint.ignore]"
 
-(* Head constructor of a binding's right-hand side, looking through
-   type constraints. Returns the mutable constructor's name when the
-   bound value is recognisably mutable. *)
-let rec mutable_head e =
-  match e.pexp_desc with
-  | Pexp_constraint (e', _) -> mutable_head e'
-  | Pexp_coerce (e', _, _) -> mutable_head e'
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-      match Rule.path_of_lid txt with
-      | [ "ref" ] -> Some "ref"
-      | [ (("Hashtbl" | "Queue" | "Stack" | "Buffer") as m); "create" ] ->
-          Some (m ^ ".create")
-      | [ "Array"; (("make" | "init" | "create_float") as f) ] -> Some ("Array." ^ f)
-      | [ "Bytes"; (("make" | "create") as f) ] -> Some ("Bytes." ^ f)
-      | _ -> None)
-  | _ -> None
+let check ~ctx ~path _str =
+  let writes = Context.domain_writes ctx in
+  Symbol_index.file_symbols ctx.Context.index path
+  |> List.filter_map (fun (b : Symbol_index.symbol) ->
+         match b.mutable_ctor with
+         | None -> None
+         | Some ctor ->
+             if b.suppressed && not ctx.Context.audit then None
+             else begin
+               match Context.SMap.find_opt b.uid writes with
+               | None | Some [] -> None
+               | Some (e :: rest) ->
+                   let more =
+                     match List.length rest with
+                     | 0 -> ""
+                     | n -> Printf.sprintf " [+%d more write site(s)]" n
+                   in
+                   let name = match List.rev b.qname with n :: _ -> n | [] -> "?" in
+                   Some
+                     (Finding.make ~loc:b.loc ~rule:id
+                        (Printf.sprintf
+                           "module-level mutable state `%s` (%s) is written on a \
+                            Domain_pool-reachable path: `%s` (%s:%d, %s) runs in \
+                            task code reachable from `%s`%s; use Atomic.t or \
+                            annotate the binding [@lint.ignore \"reason\"]."
+                           name ctor e.Context.writer e.Context.writer_file
+                           e.Context.wline e.Context.op
+                           (Context.display ctx e.Context.root)
+                           more))
+             end)
 
-let rec check_structure acc (str : structure) =
-  List.fold_left
-    (fun acc item ->
-      match item.pstr_desc with
-      | Pstr_value (_, vbs) ->
-          List.fold_left
-            (fun acc vb ->
-              if Rule.has_ignore vb.pvb_attributes then acc
-              else
-                match (vb.pvb_pat.ppat_desc, mutable_head vb.pvb_expr) with
-                | Ppat_var name, Some ctor ->
-                    Finding.make ~loc:vb.pvb_loc ~rule:id
-                      (Printf.sprintf
-                         "module-level mutable state `%s` (%s) is unsynchronised \
-                          across Domain_pool workers; use Atomic.t or annotate \
-                          [@lint.ignore \"reason\"]."
-                         name.txt ctor)
-                    :: acc
-                | _ -> acc)
-            acc vbs
-      | Pstr_module mb -> check_module_expr acc mb.pmb_expr
-      | Pstr_recmodule mbs ->
-          List.fold_left (fun acc mb -> check_module_expr acc mb.pmb_expr) acc mbs
-      | _ -> acc)
-    acc str
-
-and check_module_expr acc me =
-  match me.pmod_desc with
-  | Pmod_structure str -> check_structure acc str
-  | Pmod_constraint (me', _) -> check_module_expr acc me'
-  | Pmod_functor (_, me') -> check_module_expr acc me'
-  | _ -> acc
-
-let check ~path:_ str = List.rev (check_structure [] str)
 let rule = { Rule.id; doc; check }

@@ -87,7 +87,7 @@ let is_sort_context e =
          | _ -> false)
   | _ -> false
 
-let check ~path:_ str =
+let check ~ctx:_ ~path:_ str =
   let acc = ref [] in
   let visitor =
     object

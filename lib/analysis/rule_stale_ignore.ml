@@ -1,0 +1,54 @@
+(* suppression auditing: an [@lint.ignore] must keep earning its keep.
+
+   Every suppression in the tree excuses a specific hazard. Code
+   moves; the hazard gets refactored away; the annotation lingers and
+   silently licenses a future regression at the same site. This rule
+   closes that hole: for each file that carries suppressions, run every
+   other rule once more over the file with all [@lint.ignore]
+   attributes stripped (and the context in audit mode, so
+   binding-level suppressions are ignored too). A suppression whose
+   annotated span contains none of those shadow findings is masking
+   nothing — and is itself reported, so a suppression can never outlive
+   the hazard it excuses. *)
+
+let id = "stale-ignore"
+
+let doc =
+  "an [@lint.ignore] suppression whose removal would produce zero findings has \
+   outlived its hazard; delete it"
+
+let make ~others =
+  let check ~ctx ~path str =
+    let sites = Ignores.collect str in
+    if sites = [] then []
+    else begin
+      let stripped = Ignores.strip str in
+      let actx = Context.with_audit ctx in
+      let shadow =
+        List.concat_map (fun (r : Rule.t) -> r.check ~ctx:actx ~path stripped) others
+      in
+      let covers (s : Ignores.site) (f : Finding.t) =
+        (f.line, f.col) >= (s.line, s.col) && (f.line, f.col) <= (s.end_line, s.end_col)
+      in
+      sites
+      |> List.filter (fun s -> not (List.exists (covers s) shadow))
+      |> List.map (fun (s : Ignores.site) ->
+             let label =
+               match s.reason with
+               | Some r -> Printf.sprintf "[@lint.ignore %S]" r
+               | None -> "[@lint.ignore]"
+             in
+             {
+               Finding.file = path;
+               line = s.line;
+               col = s.col;
+               rule = id;
+               message =
+                 Printf.sprintf
+                   "stale suppression %s: removing it produces no findings, so the \
+                    hazard it excused is gone; delete the annotation."
+                   label;
+             })
+    end
+  in
+  { Rule.id; doc; check }

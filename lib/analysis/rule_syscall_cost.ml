@@ -1,15 +1,20 @@
-(* cost-accounting: no syscall is free.
+(* cost-accounting: no syscall is free — now proven interprocedurally.
 
    Every figure in the paper is a CPU-cost story, so every simulated
    syscall entry point must charge the CPU before running its
    continuation — otherwise a future syscall silently costs nothing
    and the cost model drifts. The rule applies to [kernel.ml] (the
    syscall surface): every top-level function whose first parameter is
-   named [proc] must mention a charging primitive ([enter],
-   [Host.charge], [Host.charge_run], [Cpu.consume], [Cpu.run])
-   somewhere in its body. Entry points that delegate to a module that
-   charges internally carry [@lint.ignore "charged in ..."] so the
-   delegation is audited, not invisible. *)
+   named [proc] must either mention a charging primitive ([enter],
+   [Host.charge], [Host.charge_run], [Cpu.consume], [Cpu.run]) in its
+   own body, or reach one along the resolved call graph — the analysis
+   now *proves* the delegation into [Poll.wait]/[Devpoll.*]/
+   [Rt_signal.*] that used to be excused with hand-audited
+   [@lint.ignore "charged in ..."] annotations. Unresolved calls
+   (parameters, higher-order continuations) are never assumed to
+   charge, so the proof stays conservative: delete the charge from a
+   delegation target and the entry point's finding names the call path
+   that stopped charging. *)
 
 open Ppxlib
 
@@ -17,35 +22,9 @@ let id = "syscall-cost"
 
 let doc =
   "every syscall entry point in kernel.ml (first parameter `proc`) must charge \
-   the CPU (enter/Host.charge/Cpu.consume) before invoking its continuation"
+   the CPU (enter/Host.charge/Cpu.consume) directly or via a resolved callee"
 
 let applies path = String.equal (Filename.basename path) "kernel.ml"
-
-let charge_idents =
-  [
-    [ "enter" ];
-    [ "Host"; "charge" ];
-    [ "Host"; "charge_run" ];
-    [ "Cpu"; "consume" ];
-    [ "Cpu"; "run" ];
-  ]
-
-let mentions_charge expr =
-  let found = ref false in
-  let visitor =
-    object
-      inherit Ast_traverse.iter as super
-
-      method! expression e =
-        (match e.pexp_desc with
-        | Pexp_ident { txt; _ } when List.mem (Rule.path_of_lid txt) charge_idents ->
-            found := true
-        | _ -> ());
-        super#expression e
-    end
-  in
-  visitor#expression expr;
-  !found
 
 (* Does the binding define a function whose first value parameter is
    a variable named [proc]? That is the syntactic signature of a
@@ -68,9 +47,12 @@ let first_param_is_proc e =
       first params
   | _ -> false
 
-let check ~path str =
+let check ~ctx ~path str =
   if not (applies path) then []
-  else
+  else begin
+    let m = Symbol_index.module_of_file path in
+    let charging = Context.charging ctx in
+    let graph = Context.graph ctx in
     let acc = ref [] in
     List.iter
       (fun item ->
@@ -80,21 +62,38 @@ let check ~path str =
               (fun vb ->
                 match vb.pvb_pat.ppat_desc with
                 | Ppat_var name
-                  when (not (Rule.has_ignore vb.pvb_attributes))
-                       && first_param_is_proc vb.pvb_expr
-                       && not (mentions_charge vb.pvb_expr) ->
-                    acc :=
-                      Finding.make ~loc:vb.pvb_loc ~rule:id
-                        (Printf.sprintf
-                           "syscall entry point `%s` never charges the CPU; add a \
-                            charge (enter/Host.charge/Cpu.consume) or annotate \
-                            [@lint.ignore \"charged in <callee>\"]."
-                           name.txt)
-                      :: !acc
+                  when (ctx.Context.audit || not (Rule.has_ignore vb.pvb_attributes))
+                       && first_param_is_proc vb.pvb_expr ->
+                    let uid = Symbol_index.uid_of ~file:path ~qname:[ m; name.txt ] in
+                    if not (Context.SSet.mem uid charging) then begin
+                      let delegations =
+                        Callgraph.callees graph uid
+                        |> List.map (Callgraph.display graph)
+                        |> List.sort_uniq String.compare
+                      in
+                      let checked =
+                        match delegations with
+                        | [] -> "no resolved callees to delegate to"
+                        | ds ->
+                            "delegations checked: "
+                            ^ String.concat ", "
+                                (List.map (fun d -> name.txt ^ " -> " ^ d) ds)
+                      in
+                      acc :=
+                        Finding.make ~loc:vb.pvb_loc ~rule:id
+                          (Printf.sprintf
+                             "syscall entry point `%s` never charges the CPU on any \
+                              resolved call path (%s); add a charge \
+                              (enter/Host.charge/Cpu.consume) or delegate to a callee \
+                              that charges."
+                             name.txt checked)
+                        :: !acc
+                    end
                 | _ -> ())
               vbs
         | _ -> ())
       str;
     List.rev !acc
+  end
 
 let rule = { Rule.id; doc; check }

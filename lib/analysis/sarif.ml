@@ -1,0 +1,57 @@
+(* SARIF 2.1.0 output for CI ingestion.
+
+   Hand-rolled like [Finding.to_json] — no new dependencies. The
+   rendering is fully deterministic (rule order follows the registry,
+   results arrive pre-sorted from the driver), so a clean run's output
+   is a stable fixture and the format itself is regression-testable.
+   SARIF regions are 1-based; findings carry 0-based columns. *)
+
+let esc = Finding.json_escape
+
+(* The parse-error pseudo-rule is not in the registry but can appear in
+   results; declare it so every result's ruleId is declared. *)
+let parse_error_doc = "file could not be parsed; the tree must stay analyzable"
+
+let rule_json (id, doc) =
+  Printf.sprintf {|        { "id": "%s", "shortDescription": { "text": "%s" } }|} (esc id)
+    (esc doc)
+
+let result_json (f : Finding.t) =
+  String.concat "\n"
+    [
+      "        {";
+      Printf.sprintf {|          "ruleId": "%s",|} (esc f.rule);
+      {|          "level": "error",|};
+      Printf.sprintf {|          "message": { "text": "%s" },|} (esc f.message);
+      {|          "locations": [|};
+      {|            { "physicalLocation": {|};
+      Printf.sprintf {|                "artifactLocation": { "uri": "%s" },|} (esc f.file);
+      Printf.sprintf {|                "region": { "startLine": %d, "startColumn": %d } } }|}
+        f.line (f.col + 1);
+      {|          ]|};
+      "        }";
+    ]
+
+let render ~rules findings =
+  let rule_docs =
+    List.map (fun (r : Rule.t) -> (r.id, r.doc)) rules @ [ ("parse-error", parse_error_doc) ]
+  in
+  let results =
+    match findings with
+    | [] -> [ {|      "results": []|} ]
+    | fs -> ({|      "results": [|} :: [ String.concat ",\n" (List.map result_json fs) ]) @ [ "      ]" ]
+  in
+  String.concat "\n"
+    ([
+       "{";
+       {|  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",|};
+       {|  "version": "2.1.0",|};
+       {|  "runs": [|};
+       "    {";
+       {|      "tool": { "driver": { "name": "sio_lint", "rules": [|};
+       String.concat ",\n" (List.map rule_json rule_docs);
+       "      ] } },";
+     ]
+    @ results
+    @ [ "    }"; "  ]"; "}" ])
+  ^ "\n"

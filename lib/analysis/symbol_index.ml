@@ -1,0 +1,306 @@
+(* Whole-program symbol index.
+
+   Parses nothing itself: given every (file, structure) pair under the
+   analysis roots it records one [symbol] per module-level binding —
+   top-level values, values in nested modules, values spliced in with
+   [include struct ... end] (which the per-file rules used to miss) and
+   anonymous top-level bindings such as [let () = ...] (kept as
+   pseudo-symbols so a [Domain_pool.map] buried in an executable's main
+   body still roots the reachability analysis). Each symbol carries the
+   syntactic facts every whole-program rule needs: the ident paths its
+   body mentions (callgraph edges), the application heads that are not
+   plain idents (the conservative "unknown call" marker), the mutation
+   sites it performs, and whether its right-hand side is a
+   recognisably-mutable constructor. *)
+
+open Ppxlib
+
+let ignore_name = "lint.ignore"
+
+let has_ignore (attrs : attributes) =
+  List.exists (fun (a : attribute) -> String.equal a.attr_name.txt ignore_name) attrs
+
+let rec path_of_lid = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> path_of_lid l @ [ s ]
+  | Lapply _ -> []
+
+let lid_string lid = String.concat "." (path_of_lid lid)
+
+(* A mutation site: [target] is the ident path the write lands on
+   ([x := ...], [Hashtbl.replace t ...], [r.field <- ...]), resolved
+   against the index later. [op] names the mutating operation for the
+   report. *)
+type write = { target : string list; wline : int; wcol : int; op : string }
+
+type symbol = {
+  uid : string;  (** "file#Module.name" — unique per definition site *)
+  qname : string list;  (** [Module; ...; name], module from the file name *)
+  file : string;
+  line : int;
+  col : int;
+  loc : Location.t;
+  mentions : string list list;  (** every ident path in the body *)
+  app_heads : string list list;  (** ident paths in application-head position *)
+  has_opaque_call : bool;  (** an application whose head is not an ident *)
+  writes : write list;
+  mutable_ctor : string option;  (** Some "ref" etc. when the RHS is mutable *)
+  suppressed : bool;  (** the binding carries [@lint.ignore] *)
+}
+
+module SMap = Map.Make (String)
+
+type t = {
+  symbols : symbol list;  (** file order, then position — deterministic *)
+  by_qname : symbol list SMap.t;  (** dotted qname -> definitions *)
+  by_file : symbol list SMap.t;
+}
+
+let module_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let uid_of ~file ~qname = file ^ "#" ^ String.concat "." qname
+
+(* Head constructor of a binding's right-hand side, looking through
+   type constraints. Returns the mutable constructor's name when the
+   bound value is recognisably mutable; [Atomic.make] is the sanctioned
+   alternative and is deliberately absent. *)
+let rec mutable_head e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) -> mutable_head e'
+  | Pexp_coerce (e', _, _) -> mutable_head e'
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match path_of_lid txt with
+      | [ "ref" ] -> Some "ref"
+      | p -> (
+          match List.rev p with
+          | "create"
+            :: (("Hashtbl" | "Queue" | "Stack" | "Buffer" | "Fd_map" | "Ready_buffer") as m)
+            :: _ ->
+              Some (m ^ ".create")
+          | (("make" | "init" | "create_float") as f) :: "Array" :: _ -> Some ("Array." ^ f)
+          | (("make" | "create") as f) :: "Bytes" :: _ -> Some ("Bytes." ^ f)
+          | _ -> None))
+  | _ -> None
+
+(* Which positional argument(s) a mutating stdlib call writes to:
+   [Hashtbl.replace t k v] mutates its first argument, [Queue.add x q]
+   its second. Returns the op label and the written argument indices. *)
+let write_op p =
+  let named m f idx = Some (m ^ "." ^ f, idx) in
+  match p with
+  | [ ":=" ] -> Some (":=", [ 0 ])
+  | [ "incr" ] -> Some ("incr", [ 0 ])
+  | [ "decr" ] -> Some ("decr", [ 0 ])
+  | _ -> (
+      match List.rev p with
+      | f :: "Hashtbl" :: _
+        when List.mem f [ "replace"; "add"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+        ->
+          named "Hashtbl" f [ 0 ]
+      | (("add" | "push") as f) :: "Queue" :: _ -> named "Queue" f [ 1 ]
+      | (("pop" | "take" | "clear") as f) :: "Queue" :: _ -> named "Queue" f [ 0 ]
+      | "transfer" :: "Queue" :: _ -> named "Queue" "transfer" [ 0; 1 ]
+      | "push" :: "Stack" :: _ -> named "Stack" "push" [ 1 ]
+      | (("pop" | "clear") as f) :: "Stack" :: _ -> named "Stack" f [ 0 ]
+      | f :: "Buffer" :: _
+        when String.length f >= 4 && String.equal (String.sub f 0 4) "add_" ->
+          named "Buffer" f [ 0 ]
+      | (("clear" | "reset" | "truncate") as f) :: "Buffer" :: _ -> named "Buffer" f [ 0 ]
+      | (("set" | "fill" | "blit" | "sort" | "stable_sort" | "fast_sort") as f) :: "Array" :: _
+        ->
+          named "Array" f [ 0 ]
+      | (("set" | "fill" | "blit") as f) :: "Bytes" :: _ -> named "Bytes" f [ 0 ]
+      | (("set" | "remove" | "clear") as f) :: "Fd_map" :: _ -> named "Fd_map" f [ 0 ]
+      | (("push" | "clear") as f) :: "Ready_buffer" :: _ -> named "Ready_buffer" f [ 0 ]
+      | _ -> None)
+
+let scan_body e =
+  let mentions = ref [] in
+  let heads = ref [] in
+  let opaque = ref false in
+  let writes = ref [] in
+  let record_write target_expr op =
+    match target_expr.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match path_of_lid txt with
+        | [] -> ()
+        | p ->
+            let pos = target_expr.pexp_loc.loc_start in
+            writes :=
+              { target = p; wline = pos.pos_lnum; wcol = pos.pos_cnum - pos.pos_bol; op }
+              :: !writes)
+    | _ -> ()
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            match path_of_lid txt with [] -> () | p -> mentions := p :: !mentions)
+        | Pexp_apply (fn, args) -> (
+            match fn.pexp_desc with
+            | Pexp_ident { txt; _ } -> (
+                match path_of_lid txt with
+                | [] -> ()
+                | p -> (
+                    heads := p :: !heads;
+                    match write_op p with
+                    | None -> ()
+                    | Some (op, idxs) ->
+                        let positional =
+                          List.filter_map
+                            (fun (lbl, a) -> match lbl with Nolabel -> Some a | _ -> None)
+                            args
+                        in
+                        List.iter
+                          (fun i ->
+                            match List.nth_opt positional i with
+                            | Some a -> record_write a op
+                            | None -> ())
+                          idxs))
+            | Pexp_apply _ -> ()
+            | _ -> opaque := true)
+        | Pexp_setfield (r, _, _) -> record_write r "<-"
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression e;
+  (List.rev !mentions, List.rev !heads, !opaque, List.rev !writes)
+
+let rec var_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p', _) -> var_name p'
+  | _ -> None
+
+let build files =
+  let acc = ref [] in
+  let add_binding ~file ~modpath vb =
+    let loc = vb.pvb_loc in
+    let pos = loc.loc_start in
+    let named = var_name vb.pvb_pat in
+    let name =
+      match named with
+      | Some n -> n
+      | None -> Printf.sprintf "(toplevel:%d)" pos.pos_lnum
+    in
+    let mentions, app_heads, has_opaque_call, writes = scan_body vb.pvb_expr in
+    let qname = modpath @ [ name ] in
+    acc :=
+      {
+        uid = uid_of ~file ~qname;
+        qname;
+        file;
+        line = pos.pos_lnum;
+        col = pos.pos_cnum - pos.pos_bol;
+        loc;
+        mentions;
+        app_heads;
+        has_opaque_call;
+        writes;
+        mutable_ctor = (match named with Some _ -> mutable_head vb.pvb_expr | None -> None);
+        suppressed = has_ignore vb.pvb_attributes;
+      }
+      :: !acc
+  in
+  let add_eval ~file ~modpath e loc =
+    let pos = loc.Location.loc_start in
+    let name = Printf.sprintf "(toplevel:%d)" pos.pos_lnum in
+    let mentions, app_heads, has_opaque_call, writes = scan_body e in
+    let qname = modpath @ [ name ] in
+    acc :=
+      {
+        uid = uid_of ~file ~qname;
+        qname;
+        file;
+        line = pos.pos_lnum;
+        col = pos.pos_cnum - pos.pos_bol;
+        loc;
+        mentions;
+        app_heads;
+        has_opaque_call;
+        writes;
+        mutable_ctor = None;
+        suppressed = false;
+      }
+      :: !acc
+  in
+  let rec items ~file ~modpath str =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) -> List.iter (add_binding ~file ~modpath) vbs
+        | Pstr_eval (e, _) -> add_eval ~file ~modpath e item.pstr_loc
+        | Pstr_module mb -> (
+            match mb.pmb_name.txt with
+            | Some n -> mexpr ~file ~modpath:(modpath @ [ n ]) mb.pmb_expr
+            | None -> mexpr ~file ~modpath mb.pmb_expr)
+        | Pstr_recmodule mbs ->
+            List.iter
+              (fun mb ->
+                match mb.pmb_name.txt with
+                | Some n -> mexpr ~file ~modpath:(modpath @ [ n ]) mb.pmb_expr
+                | None -> mexpr ~file ~modpath mb.pmb_expr)
+              mbs
+        (* State hidden behind [include struct ... end] is still
+           module-level state: recurse with the same module path. *)
+        | Pstr_include incl -> mexpr ~file ~modpath incl.pincl_mod
+        | _ -> ())
+      str
+  and mexpr ~file ~modpath me =
+    match me.pmod_desc with
+    | Pmod_structure str -> items ~file ~modpath str
+    | Pmod_constraint (me', _) -> mexpr ~file ~modpath me'
+    | Pmod_functor (_, me') -> mexpr ~file ~modpath me'
+    | _ -> ()
+  in
+  List.iter (fun (file, str) -> items ~file ~modpath:[ module_of_file file ] str) files;
+  let symbols = List.rev !acc in
+  let by_qname =
+    List.fold_left
+      (fun m s ->
+        let k = String.concat "." s.qname in
+        SMap.update k (function None -> Some [ s ] | Some l -> Some (l @ [ s ])) m)
+      SMap.empty symbols
+  in
+  let by_file =
+    List.fold_left
+      (fun m s ->
+        SMap.update s.file (function None -> Some [ s ] | Some l -> Some (l @ [ s ])) m)
+      SMap.empty symbols
+  in
+  { symbols; by_qname; by_file }
+
+let file_symbols t file =
+  match SMap.find_opt file t.by_file with Some l -> l | None -> []
+
+(* Resolve an ident path mentioned inside [current_module]. An
+   unqualified [f] resolves only within its own file-module (a name
+   shadowed locally never leaks to another module's definition); a
+   qualified [A.B.f] matches any indexed definition whose qualified
+   name is a suffix of the reference ([Sio_sim.Domain_pool.map] finds
+   [Domain_pool.map]). Ambiguity — two files defining the same module
+   name — resolves to every candidate: the callgraph stays conservative
+   rather than guessing. *)
+let resolve t ~current_module p =
+  if p = [] then []
+  else begin
+    let rec suffixes q =
+      if List.length q >= 2 then String.concat "." q :: suffixes (List.tl q) else []
+    in
+    let keys = String.concat "." (current_module :: p) :: suffixes p in
+    let seen = ref SMap.empty in
+    List.concat_map
+      (fun k -> match SMap.find_opt k t.by_qname with Some l -> l | None -> [])
+      keys
+    |> List.filter (fun s ->
+           if SMap.mem s.uid !seen then false
+           else begin
+             seen := SMap.add s.uid () !seen;
+             true
+           end)
+  end

@@ -108,7 +108,7 @@ let close proc fd =
       Devpoll.close dev;
       Ok ()
 
-let[@lint.ignore "charged in Rt_signal.set_signal (syscall_entry + fcntl_call)"] fcntl_setsig
+let fcntl_setsig
     proc fd ~signo =
   match Process.lookup_socket proc fd with
   | None -> Error `Ebadf
@@ -116,7 +116,7 @@ let[@lint.ignore "charged in Rt_signal.set_signal (syscall_entry + fcntl_call)"]
       Rt_signal.set_signal (Process.rt_queue proc) ~socket:sock ~fd ~signo;
       Ok ()
 
-let[@lint.ignore "charged in Rt_signal.clear_signal (syscall_entry + fcntl_call)"] fcntl_clearsig
+let fcntl_clearsig
     proc fd =
   match Process.lookup_socket proc fd with
   | None -> Error `Ebadf
@@ -124,7 +124,7 @@ let[@lint.ignore "charged in Rt_signal.clear_signal (syscall_entry + fcntl_call)
       Rt_signal.clear_signal (Process.rt_queue proc) ~socket:sock ~fd;
       Ok ()
 
-let[@lint.ignore "charged in Poll.wait (syscall_entry + per-fd copyin)"] poll proc
+let poll proc
     ~interests ~timeout ~k =
   Poll.wait ~host:(Process.host proc)
     ~lookup:(Process.lookup_socket proc)
@@ -137,7 +137,7 @@ let devpoll_open proc =
   | Ok fd -> Ok fd
   | Error `Emfile -> Error `Emfile
 
-let[@lint.ignore "charged in Devpoll.write (syscall_entry + per-change cost)"] devpoll_write
+let devpoll_write
     proc fd entries =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
@@ -145,7 +145,7 @@ let[@lint.ignore "charged in Devpoll.write (syscall_entry + per-change cost)"] d
       Devpoll.write dev entries;
       Ok ()
 
-let[@lint.ignore "charged in Devpoll.alloc_result_map (syscall_entry + mmap_setup)"] devpoll_alloc_map
+let devpoll_alloc_map
     proc fd ~slots =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
@@ -153,7 +153,7 @@ let[@lint.ignore "charged in Devpoll.alloc_result_map (syscall_entry + mmap_setu
       Devpoll.alloc_result_map dev ~slots;
       Ok ()
 
-let[@lint.ignore "charged in Devpoll.dp_poll (syscall_entry + per-result copyout)"] devpoll_wait
+let devpoll_wait
     proc fd ~max_results ~timeout ~k =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
@@ -161,11 +161,11 @@ let[@lint.ignore "charged in Devpoll.dp_poll (syscall_entry + per-result copyout
       Devpoll.dp_poll dev ~max_results ~timeout ~k;
       Ok ()
 
-let[@lint.ignore "charged in Rt_signal.wait_general (syscall_entry + sigwait_call)"] sigwaitinfo
+let sigwaitinfo
     proc ~k =
   Rt_signal.sigwaitinfo (Process.rt_queue proc) ~k
 
-let[@lint.ignore "charged in Rt_signal.wait_general (syscall_entry + sigwait_call)"] sigtimedwait4
+let sigtimedwait4
     proc ~max ~timeout ~k =
   Rt_signal.sigtimedwait4 (Process.rt_queue proc) ~max ~timeout ~k
 

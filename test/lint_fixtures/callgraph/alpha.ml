@@ -1,0 +1,4 @@
+(* Fixture: callgraph resolution — a direct same-module call, plus a
+   [helper] that beta.ml shadows with its own definition. *)
+let base x = x + 1
+let helper y = base y

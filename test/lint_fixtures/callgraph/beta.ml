@@ -1,0 +1,9 @@
+(* Fixture: callgraph resolution across modules.
+   - [cross] names Alpha.helper explicitly: a cross-module edge.
+   - [local] calls the unqualified [helper]: must stay file-local and
+     resolve to Beta.helper, never leak to Alpha.helper.
+   - [higher] applies a parameter: an unresolved head, no edge. *)
+let helper z = z * 2
+let cross n = Alpha.helper n
+let local n = helper n
+let higher f x = f x

@@ -1,0 +1,4 @@
+(* Fixture: the delegation target that actually charges. *)
+let wait proc fds =
+  Host.charge proc (List.length fds);
+  fds

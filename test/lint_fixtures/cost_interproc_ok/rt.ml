@@ -1,0 +1,7 @@
+(* Fixture: a two-hop delegation chain — [set] charges only through
+   [arm]. *)
+let arm proc = Host.charge proc 1
+
+let set proc fd =
+  ignore fd;
+  arm proc

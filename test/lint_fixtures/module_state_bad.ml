@@ -1,4 +1,8 @@
-(* Fixture: unsynchronised module-level mutable state. *)
+(* Fixture: module-level mutable declarations with no Domain_pool task
+   in sight. Under the old per-file rule every one of these was
+   flagged on declaration alone; the interprocedural rule stays silent
+   until a write is reachable from a pool root (see race_bad/ for the
+   firing case). Analyzed solo, this file must be clean. *)
 let next_id = ref 0
 let table : (int, string) Hashtbl.t = Hashtbl.create 16
 let scratch = Buffer.create 64

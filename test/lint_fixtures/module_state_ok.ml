@@ -1,9 +1,10 @@
-(* Fixture: conforming module-level state — atomic, annotated, or
-   simply immutable. *)
+(* Fixture: conforming module-level state — atomic, immutable, local,
+   or mutable-but-never-written-on-a-pool-path. [scratch] *is*
+   written, but nothing in this file spawns Domain_pool tasks, so the
+   interprocedural rule proves the write is confined; no annotation
+   needed. *)
 let next_id = Atomic.make 0
-
-let[@lint.ignore "scratch buffer used only by the single render domain"] scratch =
-  Buffer.create 64
-
+let scratch = Buffer.create 64
+let render () = Buffer.add_string scratch "frame"
 let limit = 1024
 let local_state () = ref 0

@@ -1,0 +1,9 @@
+(* Fixture: the Domain_pool task root — the closure passed to [map]
+   mutates State's module-level bindings on every worker. *)
+let run pool jobs =
+  Sio_sim.Domain_pool.map pool
+    ~f:(fun j ->
+      State.bump ();
+      State.record "job" j;
+      j)
+    jobs

@@ -1,0 +1,11 @@
+(* Fixture: module-level mutable state written from Domain_pool task
+   code (the writes are in runner.ml's task closure, reached through
+   the call graph). [hidden] lives behind [include struct ... end] —
+   state the per-file rule used to miss entirely. *)
+include struct
+  let hidden = ref 0
+end
+
+let counters : (string, int) Hashtbl.t = Hashtbl.create 8
+let bump () = hidden := !hidden + 1
+let record k v = Hashtbl.replace counters k v

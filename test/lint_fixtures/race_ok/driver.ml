@@ -1,0 +1,11 @@
+(* Fixture: the task closure only touches the atomic counter and a
+   read-only ref; the Buffer write in Metrics.flush happens on an
+   off-pool path ([finish] is not reachable from [run]). *)
+let run pool jobs =
+  Sio_sim.Domain_pool.map pool
+    ~f:(fun j ->
+      Metrics.bump ();
+      Metrics.observe () + j)
+    jobs
+
+let finish () = Metrics.flush ()

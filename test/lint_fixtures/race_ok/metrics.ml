@@ -1,0 +1,10 @@
+(* Fixture: conforming module-level state under the interprocedural
+   rule — an Atomic counter bumped from task code (sanctioned), a ref
+   that tasks only read, and a Buffer written exclusively from
+   [flush], which no Domain_pool root reaches. *)
+let total = Atomic.make 0
+let high_water = ref 0
+let log = Buffer.create 64
+let bump () = Atomic.incr total
+let observe () = !high_water
+let flush () = Buffer.add_string log "done"

@@ -1,22 +1,30 @@
 (* Golden tests for Sio_analysis (`bin/sio_lint`): each rule has a
    violating and a conforming fixture under [lint_fixtures/]; the
    violating one must produce exactly the expected findings (file,
-   line, col, rule, message) and the conforming one none. *)
+   line, col, rule, message) and the conforming one none. The
+   interprocedural rules (syscall-cost, module-state, stale-ignore)
+   additionally get multi-file fixture directories exercised through
+   [Driver.analyze_paths], plus structural goldens for the call graph
+   itself and a qcheck property for the reachability fixpoint. *)
 
 open Sio_analysis
 
 let fx name = Filename.concat "lint_fixtures" name
 let render path = List.map Finding.to_string (Driver.analyze_file (fx path))
+let render_paths paths = List.map Finding.to_string (Driver.analyze_paths (List.map fx paths))
 
 let check_clean name file () =
   Alcotest.(check (list string)) (name ^ " is clean") [] (render file)
+
+let check_clean_paths name paths () =
+  Alcotest.(check (list string)) (name ^ " is clean") [] (render_paths paths)
 
 (* --- rule registry ------------------------------------------------- *)
 
 let test_rule_registry () =
   Alcotest.(check (list string))
     "rule ids"
-    [ "nondet-clock"; "hashtbl-order"; "module-state"; "syscall-cost" ]
+    [ "nondet-clock"; "hashtbl-order"; "module-state"; "syscall-cost"; "stale-ignore" ]
     (List.map (fun r -> r.Rule.id) Driver.all_rules);
   List.iter
     (fun r -> Alcotest.(check bool) (r.Rule.id ^ " has doc") true (r.Rule.doc <> ""))
@@ -73,56 +81,159 @@ let test_hashtbl_bad () =
     ]
     (render "hashtbl_order_bad.ml")
 
-(* --- module-state -------------------------------------------------- *)
+(* --- module-state (interprocedural race check) --------------------- *)
 
-let state_msg name ctor =
+(* Declarations alone no longer fire: the rule needs a write reachable
+   from a Domain_pool root, and neither file has one. *)
+let test_module_state_decls_clean =
+  check_clean "module_state_bad (declarations only, no pool in sight)" "module_state_bad.ml"
+
+let race_msg ~name ~ctor ~writer ~wfile ~wline ~op ~root =
   Printf.sprintf
-    "module-level mutable state `%s` (%s) is unsynchronised across Domain_pool workers; use Atomic.t or annotate [@lint.ignore \"reason\"]."
-    name ctor
+    "module-level mutable state `%s` (%s) is written on a Domain_pool-reachable path: `%s` (%s:%d, %s) runs in task code reachable from `%s`; use Atomic.t or annotate the binding [@lint.ignore \"reason\"]."
+    name ctor writer wfile wline op root
 
-let test_module_state_bad () =
+let test_race_bad () =
   Alcotest.(check (list string))
-    "module_state_bad findings"
+    "race_bad findings"
     [
-      Printf.sprintf "lint_fixtures/module_state_bad.ml:2:0: module-state: %s"
-        (state_msg "next_id" "ref");
-      Printf.sprintf "lint_fixtures/module_state_bad.ml:3:0: module-state: %s"
-        (state_msg "table" "Hashtbl.create");
-      Printf.sprintf "lint_fixtures/module_state_bad.ml:4:0: module-state: %s"
-        (state_msg "scratch" "Buffer.create");
-      (* Nested modules are still module-level state. *)
-      Printf.sprintf "lint_fixtures/module_state_bad.ml:7:2: module-state: %s"
-        (state_msg "pending" "Queue.create");
+      (* [hidden] sits behind [include struct ... end] — the index must
+         still see it (the per-file rule used to skip include bodies). *)
+      Printf.sprintf "lint_fixtures/race_bad/state.ml:6:2: module-state: %s"
+        (race_msg ~name:"hidden" ~ctor:"ref" ~writer:"State.bump"
+           ~wfile:"lint_fixtures/race_bad/state.ml" ~wline:10 ~op:":="
+           ~root:"Runner.run");
+      Printf.sprintf "lint_fixtures/race_bad/state.ml:9:0: module-state: %s"
+        (race_msg ~name:"counters" ~ctor:"Hashtbl.create" ~writer:"State.record"
+           ~wfile:"lint_fixtures/race_bad/state.ml" ~wline:11 ~op:"Hashtbl.replace"
+           ~root:"Runner.run");
     ]
-    (render "module_state_bad.ml")
+    (render_paths [ "race_bad" ])
 
-(* --- syscall-cost -------------------------------------------------- *)
+(* --- syscall-cost (interprocedural charge proof) ------------------- *)
 
-let cost_msg name =
+let cost_msg name checked =
   Printf.sprintf
-    "syscall entry point `%s` never charges the CPU; add a charge (enter/Host.charge/Cpu.consume) or annotate [@lint.ignore \"charged in <callee>\"]."
-    name
+    "syscall entry point `%s` never charges the CPU on any resolved call path (%s); add a charge (enter/Host.charge/Cpu.consume) or delegate to a callee that charges."
+    name checked
 
 let test_cost_bad () =
   Alcotest.(check (list string))
     "cost_bad findings"
     [
       Printf.sprintf "lint_fixtures/cost_bad/kernel.ml:2:0: syscall-cost: %s"
-        (cost_msg "listen");
+        (cost_msg "listen" "no resolved callees to delegate to");
       Printf.sprintf "lint_fixtures/cost_bad/kernel.ml:7:0: syscall-cost: %s"
-        (cost_msg "free_syscall");
+        (cost_msg "free_syscall" "no resolved callees to delegate to");
     ]
     (render "cost_bad/kernel.ml")
+
+(* Reverting the charge in a delegation target must surface at the
+   entry point, naming the call path that stopped charging. *)
+let test_cost_interproc_bad () =
+  Alcotest.(check (list string))
+    "cost_interproc_bad findings"
+    [
+      Printf.sprintf "lint_fixtures/cost_interproc_bad/kernel.ml:4:0: syscall-cost: %s"
+        (cost_msg "poll" "delegations checked: poll -> Npoll.wait");
+    ]
+    (render_paths [ "cost_interproc_bad" ])
 
 let test_cost_only_kernel_ml () =
   (* The rule keys on the file name: the same source under another
      name is out of scope. *)
   let str = Driver.parse_impl (fx "cost_bad/kernel.ml") in
+  let ctx = Context.of_file "lint_fixtures/other.ml" str in
   Alcotest.(check int)
     "not applied outside kernel.ml" 0
-    (List.length (Rule_syscall_cost.rule.Rule.check ~path:"lint_fixtures/other.ml" str))
+    (List.length (Rule_syscall_cost.rule.Rule.check ~ctx ~path:"lint_fixtures/other.ml" str))
 
-(* --- rule selection, parse errors, JSON ---------------------------- *)
+(* --- stale-ignore (suppression auditing) --------------------------- *)
+
+let test_stale_ignore_bad () =
+  Alcotest.(check (list string))
+    "stale_ignore_bad findings"
+    [
+      "lint_fixtures/stale_ignore_bad.ml:5:0: stale-ignore: stale suppression [@lint.ignore \"was: Hashtbl.iter order escaped; table since replaced by Fd_map\"]: removing it produces no findings, so the hazard it excused is gone; delete the annotation.";
+    ]
+    (render "stale_ignore_bad.ml")
+
+let test_audit_ignores () =
+  (* [Ignores.collect] is what --audit-ignores prints: every
+     suppression site with its reason, in position order. *)
+  let sites path = Ignores.collect (Driver.parse_impl (fx path)) in
+  Alcotest.(check (list (option string)))
+    "clock_ok suppression reasons"
+    [ Some "host-side measurement, not simulation time" ]
+    (List.map (fun (s : Ignores.site) -> s.reason) (sites "clock_ok.ml"));
+  Alcotest.(check (list (option string)))
+    "cost_ok suppression reasons"
+    [ Some "charged in Poll.wait" ]
+    (List.map (fun (s : Ignores.site) -> s.reason) (sites "cost_ok/kernel.ml"))
+
+(* --- call graph ---------------------------------------------------- *)
+
+let callgraph () =
+  let files = [ fx "callgraph/alpha.ml"; fx "callgraph/beta.ml" ] in
+  Callgraph.build
+    (Symbol_index.build (List.map (fun f -> (f, Driver.parse_impl f)) files))
+
+let node graph name =
+  match Callgraph.find graph name with
+  | Some n -> n
+  | None -> Alcotest.failf "no callgraph node %s" name
+
+let alpha = "lint_fixtures/callgraph/alpha.ml#Alpha."
+let beta = "lint_fixtures/callgraph/beta.ml#Beta."
+
+let test_callgraph_edges () =
+  let g = callgraph () in
+  Alcotest.(check (list string))
+    "direct same-module call" [ alpha ^ "base" ]
+    (node g (alpha ^ "helper")).Callgraph.callees;
+  Alcotest.(check (list string))
+    "cross-module call resolves through the qualified name"
+    [ alpha ^ "helper" ]
+    (node g (beta ^ "cross")).Callgraph.callees;
+  (* [helper] is defined in both files; the unqualified call in beta.ml
+     must resolve to beta's own definition, never alpha's. *)
+  Alcotest.(check (list string))
+    "shadowed unqualified name stays file-local" [ beta ^ "helper" ]
+    (node g (beta ^ "local")).Callgraph.callees
+
+let test_callgraph_conservative () =
+  let g = callgraph () in
+  let higher = node g (beta ^ "higher") in
+  Alcotest.(check (list string))
+    "applying a parameter yields no edge" [] higher.Callgraph.callees;
+  Alcotest.(check bool)
+    "the unknown head is recorded as unresolved" true
+    (List.mem "f" higher.Callgraph.unresolved)
+
+let prop_reachability_monotone =
+  (* Adding edges can only grow the reachable set — the property that
+     makes every over-approximation in the analysis safe. *)
+  let lbl (a, b) = (string_of_int a, string_of_int b) in
+  QCheck.Test.make ~name:"reachability is monotone in the edge set" ~count:200
+    QCheck.(pair (small_list (pair (int_bound 7) (int_bound 7)))
+              (small_list (pair (int_bound 7) (int_bound 7))))
+    (fun (e1, e2) ->
+      let roots = [ "0" ] in
+      let r1 = Reachability.reachable ~edges:(List.map lbl e1) ~roots in
+      let r2 = Reachability.reachable ~edges:(List.map lbl (e1 @ e2)) ~roots in
+      List.for_all (fun n -> List.mem n r2) r1)
+
+(* --- driver: overlapping roots, ordering, parse errors ------------- *)
+
+let test_overlapping_roots () =
+  (* A file reachable from two roots (or from differently-spelled
+     roots) must be analyzed once, not reported twice. *)
+  let whole = Driver.analyze_paths [ fx "" ] in
+  Alcotest.(check (list string))
+    "nested root adds nothing"
+    (List.map Finding.to_string whole)
+    (List.map Finding.to_string
+       (Driver.analyze_paths [ fx ""; fx "cost_bad"; "./" ^ fx "race_bad" ^ "/" ]))
 
 let test_rule_filter () =
   let only id =
@@ -165,6 +276,41 @@ let test_paths_sorted () =
   Alcotest.(check bool) "sorted" true (List.sort compare keys = keys);
   Alcotest.(check bool) "found fixture violations" true (List.length fs > 10)
 
+(* --- SARIF --------------------------------------------------------- *)
+
+let test_sarif_result () =
+  let f =
+    { Finding.file = "lib/a.ml"; line = 2; col = 4; rule = "nondet-clock"; message = "x \"y\"" }
+  in
+  let out = Sarif.render ~rules:Driver.all_rules [ f ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "sarif contains %S" needle) true
+        (let rec mem i =
+           i + String.length needle <= String.length out
+           && (String.equal (String.sub out i (String.length needle)) needle || mem (i + 1))
+         in
+         mem 0))
+    [
+      {|"$schema": "https://json.schemastore.org/sarif-2.1.0.json"|};
+      {|"ruleId": "nondet-clock"|};
+      {|"message": { "text": "x \"y\"" }|};
+      {|"artifactLocation": { "uri": "lib/a.ml" }|};
+      (* SARIF regions are 1-based; findings carry 0-based columns. *)
+      {|"region": { "startLine": 2, "startColumn": 5 }|};
+    ]
+
+let test_sarif_clean_fixture () =
+  (* The committed fixture is the SARIF output of a clean run over the
+     real tree; regenerate with
+       dune exec bin/sio_lint.exe -- --format sarif lib bin bench examples *)
+  let committed =
+    In_channel.with_open_bin (fx "clean_run.sarif") In_channel.input_all
+  in
+  Alcotest.(check string)
+    "clean run matches committed SARIF" committed
+    (Sarif.render ~rules:Driver.all_rules [])
+
 let suite =
   [
     Alcotest.test_case "rule registry" `Quick test_rule_registry;
@@ -173,15 +319,34 @@ let suite =
     Alcotest.test_case "hashtbl-order: violations" `Quick test_hashtbl_bad;
     Alcotest.test_case "hashtbl-order: conforming" `Quick
       (check_clean "hashtbl_order_ok" "hashtbl_order_ok.ml");
-    Alcotest.test_case "module-state: violations" `Quick test_module_state_bad;
+    Alcotest.test_case "module-state: declarations alone are clean" `Quick
+      test_module_state_decls_clean;
     Alcotest.test_case "module-state: conforming" `Quick
       (check_clean "module_state_ok" "module_state_ok.ml");
+    Alcotest.test_case "module-state: pool-reachable writes" `Quick test_race_bad;
+    Alcotest.test_case "module-state: atomic/off-pool writes are clean" `Quick
+      (check_clean_paths "race_ok" [ "race_ok" ]);
     Alcotest.test_case "syscall-cost: violations" `Quick test_cost_bad;
     Alcotest.test_case "syscall-cost: conforming" `Quick
       (check_clean "cost_ok" "cost_ok/kernel.ml");
+    Alcotest.test_case "syscall-cost: cross-module delegation proven" `Quick
+      (check_clean_paths "cost_interproc_ok" [ "cost_interproc_ok" ]);
+    Alcotest.test_case "syscall-cost: reverted callee charge surfaces" `Quick
+      test_cost_interproc_bad;
     Alcotest.test_case "syscall-cost: scoped to kernel.ml" `Quick test_cost_only_kernel_ml;
+    Alcotest.test_case "stale-ignore: outlived suppression fires" `Quick test_stale_ignore_bad;
+    Alcotest.test_case "stale-ignore: earning suppressions stay silent" `Quick
+      (check_clean "clock_ok (audited)" "clock_ok.ml");
+    Alcotest.test_case "suppression audit surface" `Quick test_audit_ignores;
+    Alcotest.test_case "callgraph: resolved edges" `Quick test_callgraph_edges;
+    Alcotest.test_case "callgraph: unknown heads stay conservative" `Quick
+      test_callgraph_conservative;
+    QCheck_alcotest.to_alcotest prop_reachability_monotone;
+    Alcotest.test_case "overlapping roots analyzed once" `Quick test_overlapping_roots;
     Alcotest.test_case "--rule filtering" `Quick test_rule_filter;
     Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
     Alcotest.test_case "json output" `Quick test_json;
     Alcotest.test_case "findings sorted across files" `Quick test_paths_sorted;
+    Alcotest.test_case "sarif rendering" `Quick test_sarif_result;
+    Alcotest.test_case "sarif clean-run fixture" `Quick test_sarif_clean_fixture;
   ]
