@@ -6,7 +6,7 @@
 JOBS ?= 0
 SMOKE_SCALE ?= 0.02
 
-.PHONY: build test lint lint-audit check bench bench-micro bench-smoke bench-wallclock clean
+.PHONY: build test lint lint-audit check bench bench-micro bench-check bench-smoke bench-wallclock clean
 
 build:
 	dune build
@@ -34,6 +34,7 @@ lint-audit: build
 check:
 	dune build && dune runtest && dune exec bin/sio_lint.exe -- lib bin bench examples
 	$(MAKE) lint-audit
+	$(MAKE) bench-check
 	$(MAKE) bench-smoke
 
 # The full benchmark harness (micro + opcost + ablations + figures).
@@ -44,6 +45,14 @@ bench: build
 # the repo root), without the full bench/main.exe figure sweep.
 bench-micro: build
 	dune exec bench/bench_micro_main.exe
+
+# Guard against host-side perf regressions on the scan paths: run the
+# microbenchmarks fresh and fail if any result exceeds 3x the
+# committed BENCH_micro.json. The wide tolerance absorbs machine and
+# load variance; what it catches is a complexity class coming back
+# (e.g. an O(n) idle walk reappearing in an O(active) scan).
+bench-check: build
+	dune exec bench/bench_micro_main.exe -- --check BENCH_micro.json
 
 # Sequential-vs-parallel wall-clock for the reference figure set;
 # refreshes BENCH_wallclock.json at the repo root.

@@ -167,6 +167,51 @@ let batch_bound ppf ~scale =
   Fmt.pf ppf "  (a large bound lets giant batches amortize the O(n) scan: latency@.";
   Fmt.pf ppf "   balloons but throughput recovers — real servers bound the batch)@.@."
 
+(* Host-side cost of the incremental ready sets: the same 1000-idle
+   DP_POLL scan with driver hints on (idle entries get certified into
+   the analytic-batch fast path, so the host walk is O(active) = O(1)
+   here) vs off (probes must consult the driver every time, the active
+   set never drains, and the walk stays O(open set)). Unlike the rest
+   of this file, the headline numbers are host wall time and therefore
+   machine-dependent; the charged simulated cost is printed alongside
+   for the deterministic view. Keep this section last so deterministic
+   diffs of the ablation output can stop at its header. *)
+let ready_set ppf =
+  Fmt.pf ppf "== Ablation: incremental ready sets (DP_POLL, 1000 idle interests) ==@.";
+  let n = 1000 and iters = 2000 in
+  let one_leg ~hints =
+    let engine = Engine.create () in
+    let host = Host.create ~engine ~hints_by_default:hints () in
+    let sockets = Hashtbl.create n in
+    for fd = 0 to n - 1 do
+      Hashtbl.replace sockets fd (Socket.create_established ~host)
+    done;
+    let dev = Devpoll.create ~host ~lookup:(Hashtbl.find_opt sockets) in
+    Devpoll.write dev (List.init n (fun fd -> (fd, Pollmask.pollin)));
+    (* Warm-up scan: with hints on it consults every driver once and
+       certifies the whole set idle; steady state starts after it. *)
+    Devpoll.dp_poll dev ~max_results:64 ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+    Engine.run engine;
+    let sim0 = Cpu.total_busy host.Host.cpu in
+    let t0 = (Unix.gettimeofday () [@lint.ignore "host wall-clock is this ablation's measurand"]) in
+    for _ = 1 to iters do
+      Devpoll.dp_poll dev ~max_results:64 ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+      Engine.run engine
+    done;
+    let t1 = (Unix.gettimeofday () [@lint.ignore "host wall-clock is this ablation's measurand"]) in
+    let sim_us =
+      Time.to_us_f (Time.sub (Cpu.total_busy host.Host.cpu) sim0) /. float_of_int iters
+    in
+    ((t1 -. t0) *. 1e9 /. float_of_int iters, sim_us)
+  in
+  let on_host, on_sim = one_leg ~hints:true in
+  let off_host, off_sim = one_leg ~hints:false in
+  Fmt.pf ppf "  %-34s %10.0f ns/scan host   %8.1f us/scan simulated@."
+    "hints on (ready set drains)" on_host on_sim;
+  Fmt.pf ppf "  %-34s %10.0f ns/scan host   %8.1f us/scan simulated@."
+    "hints off (walk stays O(open))" off_host off_sim;
+  Fmt.pf ppf "  host-side win: %.1fx@.@." (off_host /. Float.max 1. on_host)
+
 let run ppf ~scale =
   hints ppf ~scale;
   batch_bound ppf ~scale;
@@ -174,4 +219,5 @@ let run ppf ~scale =
   mmap ppf ~scale;
   wakeup ppf ~scale;
   phhttpd_mechanisms ppf ~scale;
-  hybrid_batch ppf ~scale
+  hybrid_batch ppf ~scale;
+  ready_set ppf

@@ -67,6 +67,55 @@ let devpoll_scan n =
          Devpoll.dp_poll dev ~max_results:64 ~timeout:(Some Time.zero) ~k:(fun _ -> ());
          Engine.run engine))
 
+(* The incremental ready sets: persistent poll/select sets and the
+   devpoll active set keep scans O(active) on the host. The all-idle
+   cases measure the analytic-batch fast path; the active-of cases
+   measure the mark-and-skip walk with a bounded ready population
+   (delivered bytes are never read, so those sockets stay ready and
+   are re-probed every scan). *)
+let pset_scan n =
+  Test.make ~name:(Printf.sprintf "poll pset scan, %d idle fds" n)
+    (let engine, host, sockets = zero_env n in
+     let set = Poll.Pset.create ~host ~lookup:(Hashtbl.find_opt sockets) () in
+     for fd = 0 to n - 1 do
+       Poll.Pset.set set fd Pollmask.pollin
+     done;
+     Staged.stage (fun () ->
+         Poll.Pset.wait_set set ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+         Engine.run engine))
+
+let sset_scan n =
+  Test.make ~name:(Printf.sprintf "select sset scan, %d idle fds" n)
+    (let engine, host, sockets = zero_env n in
+     let set = Select.Sset.create ~host ~lookup:(Hashtbl.find_opt sockets) () in
+     for fd = 0 to n - 1 do
+       Select.Sset.add set fd Pollmask.pollin
+     done;
+     Staged.stage (fun () ->
+         Select.Sset.wait_sset set ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+         Engine.run engine))
+
+let devpoll_scan_active n k =
+  Test.make ~name:(Printf.sprintf "DP_POLL scan, %d active of %d" k n)
+    (let engine, host, sockets = zero_env n in
+     let dev = Devpoll.create ~host ~lookup:(Hashtbl.find_opt sockets) in
+     Devpoll.write dev (List.init n (fun fd -> (fd, Pollmask.pollin)));
+     for fd = 0 to k - 1 do
+       ignore (Socket.deliver (Hashtbl.find sockets fd) ~bytes_len:1 ~payload:"")
+     done;
+     Staged.stage (fun () ->
+         Devpoll.dp_poll dev ~max_results:k ~timeout:(Some Time.zero) ~k:(fun _ -> ());
+         Engine.run engine))
+
+let ready_set_tests =
+  Test.make_grouped ~name:"ready-set"
+    [
+      pset_scan 1000;
+      sset_scan 1000;
+      devpoll_scan_active 1000 8;
+      devpoll_scan_active 1000 64;
+    ]
+
 let rt_enqueue_dequeue =
   Test.make ~name:"RT signal enqueue+sigwaitinfo"
     (let engine, host, _ = zero_env 1 in
@@ -131,6 +180,7 @@ let tests =
       rt_enqueue_dequeue;
       histogram_add;
       fd_map_tests;
+      ready_set_tests;
     ]
 
 (* Machine-readable mirror of the printed table, for commit alongside

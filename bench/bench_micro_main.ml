@@ -1,14 +1,103 @@
 (* Standalone microbenchmark runner: prints the bechamel table and
    writes the machine-readable BENCH_micro.json next to the cwd, so
    `make bench-micro` can refresh the committed numbers without the
-   full `bench/main.exe` figure sweep. *)
+   full `bench/main.exe` figure sweep.
+
+   `--check FILE` instead compares a fresh run against the committed
+   numbers and exits non-zero if any benchmark regressed past a
+   generous tolerance — the guard `make bench-check` leans on so
+   host-side slowdowns on the scan paths fail CI instead of landing
+   silently. The tolerance is wide (3x) because bechamel numbers move
+   with machine load and hardware; it catches complexity-class
+   regressions (an O(n) walk sneaking back into an O(active) path),
+   not percent-level drift. *)
+
+(* One row of write_json's output: four-space indent, %S-quoted name,
+   a float or null, optional trailing comma. *)
+let parse_row line =
+  match
+    Scanf.sscanf line " {%S: %S, %S: %s@}" (fun k1 name k2 v ->
+        if k1 = "name" && k2 = "ns_per_op" then Some (name, v) else None)
+  with
+  | Some (name, v) ->
+      let v = String.trim v in
+      let v = if String.length v > 0 && v.[String.length v - 1] = ',' then
+          String.sub v 0 (String.length v - 1)
+        else v
+      in
+      Some (name, float_of_string_opt v)
+  | None -> None
+  | exception Scanf.Scan_failure _ | exception End_of_file | exception Failure _ -> None
+
+let parse_results path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       match parse_row (input_line ic) with
+       | Some row -> rows := row :: !rows
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let tolerance = 3.0
+
+let check committed_path =
+  if not (Sys.file_exists committed_path) then begin
+    Fmt.epr "bench-check: %s not found@." committed_path;
+    exit 2
+  end;
+  let fresh_path = Filename.temp_file "bench_micro" ".json" in
+  Bench_lib.Bench_micro.run ~json_out:fresh_path Fmt.stdout;
+  let committed = parse_results committed_path in
+  let fresh = parse_results fresh_path in
+  Sys.remove fresh_path;
+  if committed = [] then begin
+    Fmt.epr "bench-check: no results parsed from %s@." committed_path;
+    exit 2
+  end;
+  let failures = ref 0 in
+  let fail fmt = Fmt.kstr (fun msg -> incr failures; Fmt.epr "bench-check: %s@." msg) fmt in
+  List.iter
+    (fun (name, fresh_ns) ->
+      match (List.assoc_opt name committed, fresh_ns) with
+      | None, _ ->
+          fail "%S is not in %s — run `make bench-micro` to refresh the committed numbers"
+            name committed_path
+      | Some (Some committed_ns), Some fresh_ns when fresh_ns > tolerance *. committed_ns ->
+          fail "%-48s %10.1f ns/op exceeds %.0fx the committed %.1f" name fresh_ns
+            tolerance committed_ns
+      | Some _, _ -> ())
+    fresh;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name fresh) then
+        fail "%S is in %s but no longer measured — run `make bench-micro`" name
+          committed_path)
+    committed;
+  if !failures > 0 then begin
+    Fmt.epr "bench-check: %d failure(s) against %s (tolerance %.0fx)@." !failures
+      committed_path tolerance;
+    exit 1
+  end;
+  Fmt.pr "bench-check: %d benchmarks within %.0fx of %s@." (List.length fresh) tolerance
+    committed_path
 
 let () =
   let json = ref "BENCH_micro.json" in
+  let check_against = ref "" in
   let spec =
-    [ ("--json", Arg.Set_string json, "FILE JSON output path (default BENCH_micro.json)") ]
+    [
+      ("--json", Arg.Set_string json, "FILE JSON output path (default BENCH_micro.json)");
+      ( "--check",
+        Arg.Set_string check_against,
+        "FILE compare a fresh run against FILE instead of writing JSON" );
+    ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench/bench_micro_main.exe";
-  Bench_lib.Bench_micro.run ~json_out:!json Fmt.stdout
+  if !check_against <> "" then check !check_against
+  else Bench_lib.Bench_micro.run ~json_out:!json Fmt.stdout

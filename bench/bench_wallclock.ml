@@ -51,30 +51,52 @@ let timed f =
   let r = f () in
   (r, (Unix.gettimeofday () [@lint.ignore "host wall-clock is this bench's measurand"]) -. t0)
 
+(* Tiny idle-scaling leg folded into both passes, so the incremental
+   ready sets are part of the byte-identity fingerprint too. *)
+let idle_smoke = [ 1; 51 ]
+
 let () =
   let scale, jobs, out, figure_ids = parse_args () in
   let figures = List.map resolve figure_ids in
-  let points = List.fold_left (fun n f -> n + List.length f.Scalanio.Figures.rates) 0 figures in
-  let run pool = List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures in
-  Fmt.epr "bench_wallclock: %s, %d points/figure-set, scale %.2f@."
+  let points =
+    List.fold_left (fun n f -> n + List.length f.Scalanio.Figures.rates) 0 figures
+    + List.length idle_smoke
+  in
+  let run pool =
+    List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures
+    @ [ Scalanio.Figures.run_idle_scaling ?pool ~idles:idle_smoke ~rate:300 () ]
+  in
+  Fmt.epr "bench_wallclock: %s+idle-scaling, %d points/figure-set, scale %.2f@."
     (String.concat "+" figure_ids) points scale;
   let seq, seq_s = timed (fun () -> run None) in
   Fmt.epr "  sequential: %.2fs@." seq_s;
-  (* Auto-sizing caps the pool at the point count: domains beyond the
-     number of sweep points would only sit idle. *)
-  let size =
-    if jobs = 0 then
-      Stdlib.max 1 (Stdlib.min (Domain.recommended_domain_count () - 1) points)
-    else jobs
+  let recommended = Domain.recommended_domain_count () in
+  (* A single-core machine can't run a meaningful parallel leg: a
+     1-domain pool measures queue overhead, not parallelism. Keep the
+     byte-identity check by re-running the sequential leg instead. *)
+  let skipped = jobs = 0 && recommended = 1 in
+  let (par, par_s), n_jobs =
+    if skipped then begin
+      Fmt.epr "  parallel leg skipped (recommended_domains = 1); re-running sequentially@.";
+      (timed (fun () -> run None), 1)
+    end
+    else begin
+      (* Auto-sizing caps the pool at the point count: domains beyond
+         the number of sweep points would only sit idle. *)
+      let size =
+        if jobs = 0 then Stdlib.max 1 (Stdlib.min (recommended - 1) points) else jobs
+      in
+      let pool = Sio_sim.Domain_pool.create ~size () in
+      let n_jobs = Sio_sim.Domain_pool.size pool in
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Sio_sim.Domain_pool.shutdown pool)
+          (fun () -> timed (fun () -> run (Some pool)))
+      in
+      Fmt.epr "  parallel (%d domains): %.2fs@." n_jobs (snd r);
+      (r, n_jobs)
+    end
   in
-  let pool = Sio_sim.Domain_pool.create ~size () in
-  let n_jobs = Sio_sim.Domain_pool.size pool in
-  let par, par_s =
-    Fun.protect
-      ~finally:(fun () -> Sio_sim.Domain_pool.shutdown pool)
-      (fun () -> timed (fun () -> run (Some pool)))
-  in
-  Fmt.epr "  parallel (%d domains): %.2fs@." n_jobs par_s;
   let identical = String.equal (fingerprint seq) (fingerprint par) in
   let speedup = if par_s > 0. then seq_s /. par_s else 0. in
   let oc = open_out out in
@@ -87,6 +109,7 @@ let () =
   "seq_jobs": 1,
   "parallel_jobs": %d,
   "recommended_domains": %d,
+  "parallel_skipped": %b,
   "sequential_s": %.3f,
   "parallel_s": %.3f,
   "speedup": %.2f,
@@ -94,9 +117,7 @@ let () =
 }
 |}
     (String.concat ", " (List.map (Printf.sprintf "%S") figure_ids))
-    points scale n_jobs
-    (Domain.recommended_domain_count ())
-    seq_s par_s speedup identical;
+    points scale n_jobs recommended skipped seq_s par_s speedup identical;
   close_out oc;
   Fmt.epr "  speedup: %.2fx, identical: %b -> wrote %s@." speedup identical out;
   if not identical then begin

@@ -20,7 +20,10 @@ let rates_conv =
 let list_figures () =
   List.iter
     (fun f -> Fmt.pr "%-16s %s@." f.Scalanio.Figures.id f.Scalanio.Figures.title)
-    Scalanio.Figures.all
+    Scalanio.Figures.all;
+  let is = Scalanio.Figures.idle_scaling in
+  Fmt.pr "%-16s %s (not in 'all'; request explicitly)@." is.Scalanio.Figures.is_id
+    is.Scalanio.Figures.is_title
 
 let sanitize label =
   String.map (fun c -> if c = ' ' || c = '/' || c = '=' then '-' else c) label
@@ -39,6 +42,34 @@ let write_csv dir fig series =
       Fmt.epr "wrote %s@." path)
     series
 
+let write_idle_csv dir series =
+  List.iter
+    (fun s ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "idle-scaling-%s.csv" (sanitize s.Sio_loadgen.Report.label))
+      in
+      let oc = open_out path in
+      output_string oc (Sio_loadgen.Report.csv_of_series ~x_header:"idle" s);
+      close_out oc;
+      Fmt.epr "wrote %s@." path)
+    series
+
+let run_idle_scaling pool seed quiet csv_dir =
+  let on_point ~label p =
+    if not quiet then
+      Fmt.epr "  [idle-scaling] %s idle=%d avg=%.1f err=%.1f%%@." label
+        p.Sio_loadgen.Sweep.rate
+        p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+          .Sio_loadgen.Metrics.reply_rate_avg
+        p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+          .Sio_loadgen.Metrics.error_percent
+  in
+  let series = Scalanio.Figures.run_idle_scaling ?pool ~seed ~on_point () in
+  Scalanio.Figures.render_idle_scaling Fmt.stdout series;
+  (match csv_dir with Some dir -> write_idle_csv dir series | None -> ());
+  Fmt.pr "@."
+
 let with_jobs jobs f =
   match jobs with
   | 1 -> f None
@@ -51,8 +82,16 @@ let run_figures names scale seed rates quiet csv_dir jobs =
     Fmt.epr "sio_figures: --jobs must be >= 0 (got %d)@." jobs;
     exit 1
   end;
+  (* idle-scaling is its own shape (x axis = idle count, fixed rate,
+     no --scale) and heavier than a classic figure, so it is excluded
+     from 'all' and handled separately when named. *)
+  let names, want_idle_scaling =
+    let want = List.mem "idle-scaling" names in
+    (List.filter (fun n -> n <> "idle-scaling") names, want)
+  in
   let targets =
     match names with
+    | [] when want_idle_scaling -> Ok []
     | [] | [ "all" ] -> Ok Scalanio.Figures.all
     | names ->
         let rec resolve acc = function
@@ -85,7 +124,8 @@ let run_figures names scale seed rates quiet csv_dir jobs =
               Scalanio.Figures.render Fmt.stdout fig series;
               (match csv_dir with Some dir -> write_csv dir fig series | None -> ());
               Fmt.pr "@.")
-            figures);
+            figures;
+          if want_idle_scaling then run_idle_scaling pool seed quiet csv_dir);
       0
 
 let names_arg =

@@ -192,3 +192,127 @@ let render ppf fig series =
   | Reply_rate -> Report.pp_reply_rate_chart ppf series
   | Error_rate -> Report.pp_error_comparison ppf series
   | Median_latency -> Report.pp_latency_comparison ppf series
+
+(* The paper's 35 000-connection regime, previously host-prohibitive:
+   with O(active) scan paths the host cost of a point scales with the
+   request rate, not the open-set size, so sweeping the idle count to
+   35k is cheap. The x axis is the idle-connection count at a fixed
+   request rate; select is excluded (FD_SETSIZE caps it at 1024). *)
+type idle_scaling = {
+  is_id : string;
+  is_title : string;
+  is_expectation : string;
+  is_rate : int;  (** fixed request rate for every point *)
+  is_idles : int list;  (** the x axis *)
+  is_series : (string * Experiment.server_kind) list;
+}
+
+let idle_scaling =
+  {
+    is_id = "idle-scaling";
+    is_title = "Reply rate and median latency vs idle connections, 500 req/s";
+    is_expectation =
+      "poll degrades linearly in the idle count (every call scans the \
+       whole set); /dev/poll and epoll stay flat out to the paper's \
+       35 000-connection regime until memory- or port-bound.";
+    is_rate = 500;
+    is_idles = [ 501; 2000; 10000; 35000 ];
+    is_series =
+      [
+        ("poll", Experiment.Thttpd_poll);
+        ("devpoll", devpoll);
+        ("epoll", Experiment.Thttpd_epoll { max_events = 64 });
+      ];
+  }
+
+let idle_point_config ~kind ~seed ~rate idle =
+  let workload =
+    {
+      Workload.default with
+      Workload.request_rate = rate;
+      total_connections = Stdlib.max 100 (3 * rate);
+      inactive_connections = idle;
+    }
+  in
+  let base = Experiment.default_config ~kind ~workload in
+  {
+    base with
+    Experiment.seed = Sio_sim.Rng.derive ~seed idle;
+    (* Room for the idle pool: descriptors, accept bursts (the pool
+       opens over 500 ms), and settle time to let it all establish. *)
+    server_fd_limit = idle + 2048;
+    settle = Sio_sim.Time.s (2 + (idle / 5000));
+    thttpd = { base.Experiment.thttpd with Sio_httpd.Thttpd.backlog = 4096 };
+  }
+
+let run_idle_scaling ?pool ?idles ?(rate = idle_scaling.is_rate) ?(seed = 42)
+    ?(on_point = fun ~label:_ _ -> ()) () =
+  let idles = match idles with Some l -> l | None -> idle_scaling.is_idles in
+  List.map
+    (fun (label, kind) ->
+      let run_idle idle =
+        {
+          Sweep.rate = idle;
+          outcome = Experiment.run (idle_point_config ~kind ~seed ~rate idle);
+        }
+      in
+      let points =
+        match pool with
+        | None ->
+            List.map
+              (fun idle ->
+                let p = run_idle idle in
+                on_point ~label p;
+                p)
+              idles
+        | Some pool ->
+            let ps = Sio_sim.Domain_pool.map pool ~f:run_idle idles in
+            List.iter (fun p -> on_point ~label p) ps;
+            ps
+      in
+      { Report.label; points })
+    idle_scaling.is_series
+
+let render_idle_scaling ppf series =
+  let f = idle_scaling in
+  Fmt.pf ppf "== %s: %s ==@." f.is_id f.is_title;
+  Fmt.pf ppf "expected: %s@.@." f.is_expectation;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%s@." s.Report.label;
+      Fmt.pf ppf "  idle       avg        sd       min       max     err%%  median_ms@.";
+      List.iter
+        (fun p ->
+          let m = p.Sweep.outcome.Experiment.metrics in
+          Fmt.pf ppf "%6d  %8.1f  %8.1f  %8.1f  %8.1f  %7.2f  %9.2f@." p.Sweep.rate
+            m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd m.Metrics.reply_rate_min
+            m.Metrics.reply_rate_max m.Metrics.error_percent (Metrics.median_latency_ms m))
+        s.points;
+      Fmt.pf ppf "@.")
+    series;
+  (* Column comparisons on the shared x axis: idle count down, one
+     mechanism per column. *)
+  let columns pick unit_label =
+    Fmt.pf ppf "  idle";
+    List.iter (fun s -> Fmt.pf ppf "  %18s" s.Report.label) series;
+    Fmt.pf ppf "    (%s)@." unit_label;
+    match series with
+    | [] -> ()
+    | first :: _ ->
+        List.iteri
+          (fun i p0 ->
+            Fmt.pf ppf "%6d" p0.Sweep.rate;
+            List.iter
+              (fun s ->
+                match List.nth_opt s.Report.points i with
+                | Some p -> Fmt.pf ppf "  %18.2f" (pick p.Sweep.outcome.Experiment.metrics)
+                | None -> Fmt.pf ppf "  %18s" "-")
+              series;
+            Fmt.pf ppf "@.")
+          first.Report.points
+  in
+  columns
+    (fun m -> m.Metrics.reply_rate_avg)
+    (Printf.sprintf "avg reply rate /s at %d req/s offered" f.is_rate);
+  Fmt.pf ppf "@.";
+  columns (fun m -> Metrics.median_latency_ms m) "median connection time, ms"

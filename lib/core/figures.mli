@@ -52,3 +52,36 @@ val run :
 val render : Format.formatter -> t -> Report.series list -> unit
 (** Tables plus the chart appropriate to the figure, prefixed by the
     paper's expectation. *)
+
+(** {1 The idle-scaling figure}
+
+    Not one of the paper's numbered figures: reply rate and median
+    latency vs {e idle-connection count} at a fixed request rate, out
+    to the paper's 35 000-connection regime — feasible on the host
+    only because every scan path is O(active). *)
+
+type idle_scaling = {
+  is_id : string;
+  is_title : string;
+  is_expectation : string;
+  is_rate : int;  (** fixed request rate for every point *)
+  is_idles : int list;  (** the x axis: {501, 2000, 10000, 35000} *)
+  is_series : (string * Experiment.server_kind) list;
+      (** poll, /dev/poll, epoll (select is FD_SETSIZE-bound) *)
+}
+
+val idle_scaling : idle_scaling
+
+val run_idle_scaling :
+  ?pool:Sio_sim.Domain_pool.t ->
+  ?idles:int list ->
+  ?rate:int ->
+  ?seed:int ->
+  ?on_point:(label:string -> Sweep.point -> unit) ->
+  unit ->
+  Report.series list
+(** One series per mechanism; each point's [Sweep.rate] field carries
+    the idle count (the series' x axis). Deterministic in [seed];
+    [pool] parallelizes over idle counts with bit-identical results. *)
+
+val render_idle_scaling : Format.formatter -> Report.series list -> unit

@@ -26,33 +26,23 @@ let to_events results =
 
 let poll proc =
   (* User-space interest set; insertion order preserved so the pollfd
-     array looks like thttpd's (listener first, then connections). *)
-  let interests : (int, Pollmask.t) Hashtbl.t = Hashtbl.create 64 in
-  let order : int list ref = ref [] in
-  let current () =
-    List.rev
-      (List.filter_map
-         (fun fd ->
-           match Hashtbl.find_opt interests fd with
-           | Some mask -> Some (fd, mask)
-           | None -> None)
-         !order)
+     array looks like thttpd's (listener first, then connections).
+     Kept persistent so the host-side scan is O(active); charged costs
+     and results are identical to rebuilding the list every call. *)
+  let set =
+    Poll.Pset.create
+      ~host:(Process.host proc)
+      ~lookup:(Process.lookup_socket proc)
+      ()
   in
   {
     name = "poll";
-    add =
-      (fun fd mask ->
-        if not (Hashtbl.mem interests fd) then order := fd :: !order;
-        Hashtbl.replace interests fd mask);
-    modify = (fun fd mask -> if Hashtbl.mem interests fd then Hashtbl.replace interests fd mask);
-    remove =
-      (fun fd ->
-        Hashtbl.remove interests fd;
-        order := List.filter (fun x -> x <> fd) !order);
+    add = (fun fd mask -> Poll.Pset.set set fd mask);
+    modify = (fun fd mask -> if Poll.Pset.mem set fd then Poll.Pset.set set fd mask);
+    remove = (fun fd -> Poll.Pset.remove set fd);
     wait =
-      (fun ~timeout ~k ->
-        Kernel.poll proc ~interests:(current ()) ~timeout ~k:(fun rs -> k (to_events rs)));
-    interest_count = (fun () -> Hashtbl.length interests);
+      (fun ~timeout ~k -> Poll.Pset.wait_set set ~timeout ~k:(fun rs -> k (to_events rs)));
+    interest_count = (fun () -> Poll.Pset.length set);
   }
 
 let devpoll ?(use_mmap = true) ?(max_events = 64) proc =
@@ -84,8 +74,12 @@ let devpoll ?(use_mmap = true) ?(max_events = 64) proc =
         }
 
 let select proc =
-  let read = Fd_set.create () and write = Fd_set.create () in
-  let host = Process.host proc in
+  let set =
+    Select.Sset.create
+      ~host:(Process.host proc)
+      ~lookup:(Process.lookup_socket proc)
+      ()
+  in
   let to_events result =
     let events = ref [] in
     Fd_set.iter result.Select.except (fun fd ->
@@ -99,27 +93,16 @@ let select proc =
         | _ -> events := { fd; mask = Pollmask.pollin } :: !events);
     !events
   in
-  let add fd mask =
-    if Pollmask.intersects mask Pollmask.readable then Fd_set.set read fd
-    else Fd_set.clear read fd;
-    if Pollmask.intersects mask Pollmask.pollout then Fd_set.set write fd
-    else Fd_set.clear write fd
-  in
+  let add fd mask = Select.Sset.add set fd mask in
   {
     name = "select";
     add;
     modify = add;
-    remove =
-      (fun fd ->
-        Fd_set.clear read fd;
-        Fd_set.clear write fd);
+    remove = (fun fd -> Select.Sset.remove set fd);
     wait =
       (fun ~timeout ~k ->
-        Select.select ~host
-          ~lookup:(Process.lookup_socket proc)
-          ~read ~write ~except:read ~timeout
-          ~k:(fun result -> k (to_events result)));
-    interest_count = (fun () -> Fd_set.cardinal read);
+        Select.Sset.wait_sset set ~timeout ~k:(fun result -> k (to_events result)));
+    interest_count = (fun () -> Select.Sset.interest_count set);
   }
 
 let epoll ?(max_events = 64) proc =

@@ -94,3 +94,14 @@ let zero =
     copy_per_byte_ns = 0.;
     sendfile_per_byte_ns = 0.;
   }
+
+(* Analytic bulk charge: [count] repetitions of one constant-cost
+   operation in a single consume. This is exact, not approximate —
+   [Time.t] is integer nanoseconds and [Cpu.consume] is additive, so
+   consuming [count * cost] leaves [busy_until] and [total_busy]
+   precisely where [count] consecutive consumes would. Callers that
+   replace a per-item loop with this must advance the matching [Host]
+   operation counters by the same [count] (DESIGN.md section 5). *)
+let charge_batch cpu ~cost ~count =
+  if count < 0 then invalid_arg "Cost_model.charge_batch: negative count";
+  Cpu.consume cpu (Time.mul cost count)

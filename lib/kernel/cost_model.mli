@@ -74,3 +74,11 @@ val sendfile_cost : t -> bytes_len:int -> Time.t
 
 val zero : t
 (** All-zero costs; used by unit tests that check pure semantics. *)
+
+val charge_batch : Cpu.t -> cost:Time.t -> count:int -> Time.t
+(** [charge_batch cpu ~cost ~count] consumes [count * cost] in one
+    O(1) operation and returns the finish time, exactly equivalent to
+    [count] consecutive [Cpu.consume cpu cost] calls (integer-ns
+    costs are additive). Raises [Invalid_argument] on negative
+    [count]. Callers replacing a per-item loop must bump the matching
+    {!Host} operation counters by the same [count]. *)

@@ -1,12 +1,20 @@
 open Sio_sim
 
-type sub = { sock_id : int; socket : Socket.t; token : int }
+type sub = { sock_id : int; socket : Socket.t; token : int; wtoken : int }
 
 type t = {
   host : Host.t;
   lookup : int -> Socket.t option;
   table : Interest_table.t;
   subs : sub Fd_map.t; (* fd -> backmap subscription *)
+  active : Interest_table.interest Fd_map.t;
+      (* Conservative superset of the interests whose next probe might
+         do more than a hint-check skip. Everything outside it is
+         idle-certified: socket present and backmapped, hints
+         supported, hint empty, cached status not ready — so a probe
+         would charge exactly interest_hash_op + hint_check and bump
+         hint_skips. Scans visit only this set on the host and charge
+         the idle majority analytically. *)
   wq : Socket.waiter Wait_queue.t; (* sleepers inside dp_poll *)
   ready : Poll.result Ready_buffer.t; (* reused by every scan *)
   mutable result_slots : int option;
@@ -19,6 +27,7 @@ let create ~host ~lookup =
     lookup;
     table = Interest_table.create ();
     subs = Fd_map.create ~initial_capacity:64 ();
+    active = Fd_map.create ~initial_capacity:64 ();
     wq = Wait_queue.create ();
     ready = Ready_buffer.create ~initial_capacity:64 ();
     result_slots = None;
@@ -37,8 +46,15 @@ let wake_sleepers t mask =
          ignore (Host.charge t.host costs.Cost_model.wait_queue_wake);
          w.Socket.wake mask))
 
+let mark_active t fd =
+  match Interest_table.find t.table fd with
+  | Some interest -> Fd_map.set t.active fd interest
+  | None -> ()
+
 (* Install the backmap subscription for fd on its current socket: the
-   driver posts hints into the interest record and wakes sleepers. *)
+   driver posts hints into the interest record and wakes sleepers. The
+   uncharged watcher rides along to invalidate idle certification on
+   any readiness edge (or hint-support toggle). *)
 let subscribe t fd (sock : Socket.t) =
   let token =
     Socket.subscribe sock (fun mask ->
@@ -48,13 +64,15 @@ let subscribe t fd (sock : Socket.t) =
         | None -> ());
         wake_sleepers t mask)
   in
-  Fd_map.set t.subs fd { sock_id = Socket.id sock; socket = sock; token }
+  let wtoken = Socket.add_watcher sock (fun () -> mark_active t fd) in
+  Fd_map.set t.subs fd { sock_id = Socket.id sock; socket = sock; token; wtoken }
 
 let unsubscribe t fd =
   match Fd_map.find t.subs fd with
   | None -> ()
   | Some sub ->
       Socket.unsubscribe sub.socket sub.token;
+      Socket.remove_watcher sub.socket sub.wtoken;
       ignore (Fd_map.remove t.subs fd)
 
 let write t entries =
@@ -69,10 +87,14 @@ let write t entries =
       ignore (Host.charge t.host costs.Cost_model.devpoll_write_per_change);
       if Pollmask.mem Pollmask.pollremove events then begin
         unsubscribe t fd;
-        ignore (Interest_table.remove t.table fd)
+        ignore (Interest_table.remove t.table fd);
+        ignore (Fd_map.remove t.active fd)
       end
       else begin
         ignore (Interest_table.set t.table ~fd ~events);
+        (* New or modified interests must be re-probed: [set] resets
+           hint and cache, so idle certification no longer holds. *)
+        mark_active t fd;
         match t.lookup fd with
         | Some sock -> (
             match Fd_map.find t.subs fd with
@@ -147,22 +169,73 @@ let probe t (interest : Interest_table.interest) =
             | None -> consult_driver ()
         end
       in
-      Pollmask.inter st (Pollmask.union interest.Interest_table.events forced)
+      let revents = Pollmask.inter st (Pollmask.union interest.Interest_table.events forced) in
+      (* Idle certification: a not-ready result under hinting leaves
+         hint empty and cache not-ready, so until the socket's watcher
+         fires, re-probing would be exactly hash + hint-check + skip. *)
+      if Pollmask.is_empty revents && Socket.hints_supported sock then
+        ignore (Fd_map.remove t.active fd);
+      revents
+
+(* Charge [count] idle-certified interests in bulk: each would probe
+   as interest_hash_op + hint_check and bump hint_skips (see [active]
+   above for why that is exact, not an estimate). *)
+let charge_idle t count =
+  if count > 0 then begin
+    let costs = t.host.Host.costs in
+    let counters = t.host.Host.counters in
+    ignore
+      (Cost_model.charge_batch t.host.Host.cpu
+         ~cost:(Time.add costs.Cost_model.interest_hash_op costs.Cost_model.hint_check)
+         ~count);
+    counters.Host.hint_skips <- counters.Host.hint_skips + count
+  end
 
 (* Fill the reusable result buffer, stopping — probes and table walk
    both — the moment it is full. Returns the ready count; the buffer
-   stays valid until the next scan on this instance. *)
+   stays valid until the next scan on this instance.
+
+   Host cost is O(active): when nothing is active the whole table is
+   one analytic charge; otherwise the walk skips idle-certified
+   entries (counting them for the bulk charge) and exits as soon as
+   the last active interest has been probed, charging the unvisited
+   tail in bulk. Charged nanoseconds and counters are identical to the
+   full walk — only the charge *order* within the scan differs, and
+   Cpu.consume is additive with no engine interleaving mid-scan. *)
 let scan t ~max_results =
   Ready_buffer.clear t.ready;
-  Interest_table.iter_while t.table ~f:(fun interest ->
-      if Ready_buffer.length t.ready >= max_results then false
-      else begin
-        let revents = probe t interest in
-        if not (Pollmask.is_empty revents) then
-          Ready_buffer.push t.ready { Poll.fd = interest.Interest_table.fd; revents };
-        true
-      end);
-  Ready_buffer.length t.ready
+  let total = Interest_table.length t.table in
+  if Fd_map.length t.active = 0 then begin
+    charge_idle t total;
+    0
+  end
+  else begin
+    let remaining = ref (Fd_map.length t.active) in
+    let visited = ref 0 in
+    let idle_seen = ref 0 in
+    Interest_table.iter_while t.table ~f:(fun interest ->
+        if Ready_buffer.length t.ready >= max_results then false
+        else if !remaining = 0 then false
+        else begin
+          incr visited;
+          if Fd_map.mem t.active interest.Interest_table.fd then begin
+            (* Count before probing: probe may re-certify this entry
+               idle, but never touches other entries' marks. *)
+            decr remaining;
+            let revents = probe t interest in
+            if not (Pollmask.is_empty revents) then
+              Ready_buffer.push t.ready { Poll.fd = interest.Interest_table.fd; revents }
+          end
+          else incr idle_seen;
+          true
+        end);
+    (* The unvisited tail is all idle — but only charge it if the
+       buffer has room: a full buffer stops the real walk cold. *)
+    if Ready_buffer.length t.ready < max_results then
+      idle_seen := !idle_seen + (total - !visited);
+    charge_idle t !idle_seen;
+    Ready_buffer.length t.ready
+  end
 
 let dp_poll t ~max_results ~timeout ~k =
   check_open t;
@@ -232,11 +305,16 @@ let dp_poll t ~max_results ~timeout ~k =
 
 let interest_count t = Interest_table.length t.table
 let find_interest t fd = Interest_table.find t.table fd
+let active_count t = Fd_map.length t.active
+let active_fds t = List.map fst (Fd_map.to_list t.active)
 
 let close t =
   if not t.closed then begin
-    Fd_map.iter t.subs (fun _ sub -> Socket.unsubscribe sub.socket sub.token);
+    Fd_map.iter t.subs (fun _ sub ->
+        Socket.unsubscribe sub.socket sub.token;
+        Socket.remove_watcher sub.socket sub.wtoken);
     Fd_map.clear t.subs;
+    Fd_map.clear t.active;
     t.closed <- true
   end
 

@@ -94,3 +94,184 @@ let wait ~host ~lookup ~interests ~timeout ~k =
         waiter_ref := Some w;
         List.iter (fun s -> Socket.register_waiter s w) sockets;
         arm_timer ()
+
+(* A persistent poll set: the interest list a server passes to poll()
+   on every loop iteration, kept between calls so the host-side scan
+   can be O(active) while charging the classic O(n) costs analytically
+   (DESIGN.md §5: charged nanoseconds and counters are unchanged; only
+   the host container changed). Results still come back in interest
+   insertion order, exactly as [wait] reports them. *)
+module Pset = struct
+  type entry = {
+    fd : int;
+    order : int; (* insertion rank; re-adding after remove re-ranks *)
+    mutable events : Pollmask.t;
+    mutable bound : (Socket.t * int) option; (* watched socket, token *)
+  }
+
+  type pset = {
+    host : Host.t;
+    lookup : int -> Socket.t option;
+    entries : entry Fd_map.t;
+    active : entry Fd_map.t;
+        (* Conservative superset of entries whose probe might report
+           readiness. Everything outside it was last seen not-ready on
+           a live, watcher-bound socket, so its probe charges exactly
+           copy-in + driver callback and reports nothing. *)
+    ready : result Ready_buffer.t;
+    mutable next_order : int;
+  }
+
+  let create ~host ~lookup () =
+    {
+      host;
+      lookup;
+      entries = Fd_map.create ~initial_capacity:64 ();
+      active = Fd_map.create ~initial_capacity:64 ();
+      ready = Ready_buffer.create ~initial_capacity:16 ();
+      next_order = 0;
+    }
+
+  let unbind e =
+    match e.bound with
+    | Some (sock, wtoken) ->
+        Socket.remove_watcher sock wtoken;
+        e.bound <- None
+    | None -> ()
+
+  let set s fd events =
+    match Fd_map.find s.entries fd with
+    | Some e ->
+        e.events <- events;
+        Fd_map.set s.active fd e
+    | None ->
+        let e = { fd; order = s.next_order; events; bound = None } in
+        s.next_order <- s.next_order + 1;
+        Fd_map.set s.entries fd e;
+        Fd_map.set s.active fd e
+
+  let remove s fd =
+    match Fd_map.find s.entries fd with
+    | None -> ()
+    | Some e ->
+        unbind e;
+        ignore (Fd_map.remove s.entries fd);
+        ignore (Fd_map.remove s.active fd)
+
+  let mem s fd = Fd_map.mem s.entries fd
+  let length s = Fd_map.length s.entries
+  let active_fds s = List.map fst (Fd_map.to_list s.active)
+
+  (* One charged probe, identical to the per-fd body of [scan]. Binds
+     the watcher to the entry's current socket (descriptor reuse
+     rebinds) and re-certifies the entry idle on a not-ready result. *)
+  let probe s e =
+    let costs = s.host.Host.costs in
+    ignore (Host.charge s.host costs.Cost_model.poll_copyin_per_fd);
+    match s.lookup e.fd with
+    | None -> Pollmask.pollnval (* stays active: POLLNVAL is always reported *)
+    | Some sock ->
+        (match e.bound with
+        | Some (s0, _) when Socket.id s0 = Socket.id sock -> ()
+        | Some _ | None ->
+            unbind e;
+            let wtoken = Socket.add_watcher sock (fun () -> Fd_map.set s.active e.fd e) in
+            e.bound <- Some (sock, wtoken));
+        let revents = Pollmask.inter (Socket.driver_poll sock) (Pollmask.union e.events forced) in
+        if Pollmask.is_empty revents then ignore (Fd_map.remove s.active e.fd);
+        revents
+
+  (* O(active) scan: idle entries are charged in one batch (each would
+     cost copy-in + driver callback and bump driver_polls — they all
+     have live sockets, else they could not be idle-certified), active
+     entries are probed individually in insertion order so results
+     match [scan] byte for byte. *)
+  let scan_set s =
+    let costs = s.host.Host.costs in
+    let counters = s.host.Host.counters in
+    Ready_buffer.clear s.ready;
+    let idle = Fd_map.length s.entries - Fd_map.length s.active in
+    if idle > 0 then begin
+      ignore
+        (Cost_model.charge_batch s.host.Host.cpu
+           ~cost:
+             (Time.add costs.Cost_model.poll_copyin_per_fd
+                costs.Cost_model.driver_poll_callback)
+           ~count:idle);
+      counters.Host.driver_polls <- counters.Host.driver_polls + idle
+    end;
+    let acts = Fd_map.fold s.active ~init:[] ~f:(fun acc _ e -> e :: acc) in
+    let acts = List.sort (fun a b -> compare a.order b.order) acts in
+    List.iter
+      (fun e ->
+        let revents = probe s e in
+        if not (Pollmask.is_empty revents) then Ready_buffer.push s.ready { fd = e.fd; revents })
+      acts;
+    Ready_buffer.length s.ready
+
+  (* poll() over the persistent set: charge-for-charge the same call
+     sequence as [wait] — syscall entry, scan, sleep registration on
+     every interest's socket, full rescan per wake, copy-out per ready. *)
+  let wait_set s ~timeout ~k =
+    let host = s.host in
+    let costs = host.Host.costs in
+    let counters = host.Host.counters in
+    counters.Host.syscalls <- counters.Host.syscalls + 1;
+    ignore (Host.charge host costs.Cost_model.syscall_entry);
+    let finish results =
+      ignore
+        (Host.charge host
+           (Time.mul costs.Cost_model.poll_copyout_per_ready (List.length results)));
+      Host.charge_run host ~cost:Time.zero (fun () -> k results)
+    in
+    let finish_ready () = finish (Ready_buffer.to_list s.ready) in
+    if scan_set s > 0 then finish_ready ()
+    else
+      match timeout with
+      | Some t when t <= Time.zero -> finish []
+      | _ ->
+          let sockets =
+            Fd_map.fold s.entries ~init:[] ~f:(fun acc fd _ ->
+                match s.lookup fd with Some sock -> sock :: acc | None -> acc)
+          in
+          let n = Fd_map.length s.entries in
+          ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+          let timer = ref None in
+          let waiter_ref = ref None in
+          let cleanup () =
+            (match !waiter_ref with
+            | Some w -> List.iter (fun sock -> ignore (Socket.unregister_waiter sock w)) sockets
+            | None -> ());
+            ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_unregister n));
+            match !timer with
+            | Some h ->
+                Engine.cancel host.Host.engine h;
+                timer := None
+            | None -> ()
+          in
+          let rec on_wake _mask =
+            cleanup ();
+            if scan_set s > 0 then finish_ready ()
+            else begin
+              let w = { Socket.wake = on_wake } in
+              waiter_ref := Some w;
+              List.iter (fun sock -> Socket.register_waiter sock w) sockets;
+              ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+              arm_timer ()
+            end
+          and arm_timer () =
+            match timeout with
+            | None -> ()
+            | Some t ->
+                timer :=
+                  Some
+                    (Engine.after host.Host.engine t (fun () ->
+                         timer := None;
+                         cleanup ();
+                         finish []))
+          in
+          let w = { Socket.wake = on_wake } in
+          waiter_ref := Some w;
+          List.iter (fun sock -> Socket.register_waiter sock w) sockets;
+          arm_timer ()
+end

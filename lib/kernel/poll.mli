@@ -30,3 +30,37 @@ val scan_cost : host:Host.t -> n_interests:int -> Time.t
 (** The deterministic CPU cost of one scan pass over [n] interests
     (copy-in plus driver callbacks), exposed for the cost-model
     tests. *)
+
+(** A persistent poll set (the interest list a server re-submits every
+    loop iteration), kept between calls so the host-side scan is
+    O(active) while the charged costs, operation counters, result
+    contents, and result order stay identical to {!wait} over the same
+    interests in insertion order. Idle descriptors (last seen
+    not-ready on a live socket) are charged analytically via
+    {!Cost_model.charge_batch}; socket watchers re-activate them on
+    any readiness edge. *)
+module Pset : sig
+  type pset
+
+  val create : host:Host.t -> lookup:(int -> Socket.t option) -> unit -> pset
+
+  val set : pset -> int -> Pollmask.t -> unit
+  (** Add or replace an interest. A new fd appends to the insertion
+      order (re-adding a removed fd re-ranks it last, matching a list
+      rebuilt the same way); a replaced fd keeps its rank. *)
+
+  val remove : pset -> int -> unit
+  val mem : pset -> int -> bool
+  val length : pset -> int
+
+  val active_fds : pset -> int list
+  (** Non-idle-certified fds, ascending; test hook for the churn
+      equivalence property. *)
+
+  val scan_set : pset -> int
+  (** One charged scan pass (exposed for cost-equivalence tests). *)
+
+  val wait_set :
+    pset -> timeout:Time.t option -> k:(result list -> unit) -> unit
+  (** One poll() call over the set; contract as {!wait}. *)
+end

@@ -121,3 +121,210 @@ let select ~host ~lookup ~read ~write ~except ~timeout ~k =
         waiter_ref := Some wtr;
         List.iter (fun s -> Socket.register_waiter s wtr) sockets;
         arm_timer ()
+
+(* A stateful select set, mirroring how thttpd actually uses select():
+   the same three bitmaps (except aliased to read) are re-submitted on
+   every loop iteration. Kept between calls so the host-side walk is
+   O(active) while charged costs, counters, and the returned bitmaps
+   stay identical to [select] over the same bitmaps. *)
+module Sset = struct
+  type member = { fd : int; mutable bound : (Socket.t * int) option }
+
+  type sset = {
+    host : Host.t;
+    lookup : int -> Socket.t option;
+    read : Fd_set.t; (* also the except set, as thttpd passes it *)
+    write : Fd_set.t;
+    members : member Fd_map.t; (* every fd with a read or write bit *)
+    active : member Fd_map.t;
+        (* Conservative superset of members whose probe might set a
+           result bit. Everything outside it was last seen reporting
+           nothing on a live, watcher-bound socket, so its probe is
+           exactly one driver callback with no bits set. *)
+  }
+
+  let create ~host ~lookup () =
+    {
+      host;
+      lookup;
+      read = Fd_set.create ();
+      write = Fd_set.create ();
+      members = Fd_map.create ~initial_capacity:64 ();
+      active = Fd_map.create ~initial_capacity:64 ();
+    }
+
+  let unbind m =
+    match m.bound with
+    | Some (sock, wtoken) ->
+        Socket.remove_watcher sock wtoken;
+        m.bound <- None
+    | None -> ()
+
+  let remove s fd =
+    Fd_set.clear s.read fd;
+    Fd_set.clear s.write fd;
+    (match Fd_map.find s.members fd with
+    | Some m ->
+        unbind m;
+        ignore (Fd_map.remove s.members fd)
+    | None -> ());
+    ignore (Fd_map.remove s.active fd)
+
+  (* Same bit discipline as thttpd's backend: readable interest sets
+     the read bit, POLLOUT interest the write bit; a mask with neither
+     leaves the fd out of the set entirely. Any change re-activates
+     the fd (its next probe may answer differently). *)
+  let add s fd mask =
+    if Pollmask.intersects mask Pollmask.readable then Fd_set.set s.read fd
+    else Fd_set.clear s.read fd;
+    if Pollmask.intersects mask Pollmask.pollout then Fd_set.set s.write fd
+    else Fd_set.clear s.write fd;
+    if Fd_set.mem s.read fd || Fd_set.mem s.write fd then begin
+      let m =
+        match Fd_map.find s.members fd with
+        | Some m -> m
+        | None ->
+            let m = { fd; bound = None } in
+            Fd_map.set s.members fd m;
+            m
+      in
+      Fd_map.set s.active fd m
+    end
+    else remove s fd
+
+  let mem s fd = Fd_map.mem s.members fd
+  let interest_count s = Fd_set.cardinal s.read
+  let active_fds s = List.map fst (Fd_map.to_list s.active)
+
+  (* O(active) scan: the bitmap-walk cost over 0..nfds-1 was already
+     analytic; idle members are charged one batched driver callback
+     each (they all have live sockets, else the except bit would have
+     kept them active), active members run the per-fd body of [scan]
+     verbatim, in the same ascending-fd order. *)
+  let scan_sset s =
+    let host = s.host in
+    let costs = host.Host.costs in
+    let counters = host.Host.counters in
+    let read = s.read and write = s.write in
+    let except = s.read in
+    let nfds =
+      1
+      + Stdlib.max (Fd_set.max_fd read)
+          (Stdlib.max (Fd_set.max_fd write) (Fd_set.max_fd except))
+    in
+    ignore (Host.charge host (scan_cost ~host ~nfds));
+    let r = Fd_set.create () and w = Fd_set.create () and e = Fd_set.create () in
+    let ready = ref 0 in
+    let idle = Fd_map.length s.members - Fd_map.length s.active in
+    if idle > 0 then begin
+      ignore
+        (Cost_model.charge_batch host.Host.cpu ~cost:costs.Cost_model.driver_poll_callback
+           ~count:idle);
+      counters.Host.driver_polls <- counters.Host.driver_polls + idle
+    end;
+    Fd_map.iter s.active (fun fd m ->
+        let any = ref false in
+        (match s.lookup fd with
+        | None ->
+            if Fd_set.mem except fd || Fd_set.mem read fd || Fd_set.mem write fd then begin
+              Fd_set.set e fd;
+              incr ready;
+              any := true
+            end
+        | Some sock ->
+            (match m.bound with
+            | Some (s0, _) when Socket.id s0 = Socket.id sock -> ()
+            | Some _ | None ->
+                unbind m;
+                let wtoken =
+                  Socket.add_watcher sock (fun () -> Fd_map.set s.active m.fd m)
+                in
+                m.bound <- Some (sock, wtoken));
+            let st = Socket.driver_poll sock in
+            if
+              Fd_set.mem read fd
+              && Pollmask.intersects st (Pollmask.union Pollmask.readable Pollmask.pollhup)
+            then begin
+              Fd_set.set r fd;
+              incr ready;
+              any := true
+            end;
+            if Fd_set.mem write fd && Pollmask.intersects st Pollmask.pollout then begin
+              Fd_set.set w fd;
+              incr ready;
+              any := true
+            end;
+            if
+              Fd_set.mem except fd
+              && Pollmask.intersects st (Pollmask.union Pollmask.pollerr Pollmask.pollpri)
+            then begin
+              Fd_set.set e fd;
+              incr ready;
+              any := true
+            end;
+            if not !any then ignore (Fd_map.remove s.active fd)));
+    ({ readable = r; writable = w; except = e }, !ready)
+
+  (* select() over the persistent set: charge-for-charge the same call
+     sequence as [select], including the rescan at timeout expiry. *)
+  let wait_sset s ~timeout ~k =
+    let host = s.host in
+    let costs = host.Host.costs in
+    let counters = host.Host.counters in
+    counters.Host.syscalls <- counters.Host.syscalls + 1;
+    ignore (Host.charge host costs.Cost_model.syscall_entry);
+    let finish result = Host.charge_run host ~cost:Time.zero (fun () -> k result) in
+    let first, ready = scan_sset s in
+    if ready > 0 then finish first
+    else
+      match timeout with
+      | Some t when t <= Time.zero -> finish first
+      | _ ->
+          let sockets =
+            Fd_map.fold s.members ~init:[] ~f:(fun acc fd _ ->
+                match s.lookup fd with Some sock -> sock :: acc | None -> acc)
+          in
+          let n = List.length sockets in
+          ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+          let timer = ref None in
+          let waiter_ref = ref None in
+          let cleanup () =
+            (match !waiter_ref with
+            | Some wtr ->
+                List.iter (fun sock -> ignore (Socket.unregister_waiter sock wtr)) sockets
+            | None -> ());
+            ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_unregister n));
+            match !timer with
+            | Some h ->
+                Engine.cancel host.Host.engine h;
+                timer := None
+            | None -> ()
+          in
+          let rec on_wake _mask =
+            cleanup ();
+            let result, ready = scan_sset s in
+            if ready > 0 then finish result
+            else begin
+              let wtr = { Socket.wake = on_wake } in
+              waiter_ref := Some wtr;
+              List.iter (fun sock -> Socket.register_waiter sock wtr) sockets;
+              ignore (Host.charge host (Time.mul costs.Cost_model.wait_queue_register n));
+              arm_timer ()
+            end
+          and arm_timer () =
+            match timeout with
+            | None -> ()
+            | Some t ->
+                timer :=
+                  Some
+                    (Engine.after host.Host.engine t (fun () ->
+                         timer := None;
+                         cleanup ();
+                         let result, _ = scan_sset s in
+                         finish result))
+          in
+          let wtr = { Socket.wake = on_wake } in
+          waiter_ref := Some wtr;
+          List.iter (fun sock -> Socket.register_waiter sock wtr) sockets;
+          arm_timer ()
+end

@@ -29,3 +29,37 @@ val select :
 
 val scan_cost : host:Host.t -> nfds:int -> Time.t
 (** Deterministic cost of one select scan with [nfds = max_fd + 1]. *)
+
+(** A stateful select set mirroring thttpd's usage (one read set that
+    doubles as the except set, one write set, re-submitted every loop
+    iteration), kept between calls so the host-side walk is O(active)
+    while the charged costs, operation counters, and returned bitmaps
+    stay identical to {!select} over the same bitmaps. Idle members
+    (last seen reporting nothing on a live socket) are charged
+    analytically via {!Cost_model.charge_batch}; socket watchers
+    re-activate them on any readiness edge. *)
+module Sset : sig
+  type sset
+
+  val create : host:Host.t -> lookup:(int -> Socket.t option) -> unit -> sset
+
+  val add : sset -> int -> Pollmask.t -> unit
+  (** Readable interest sets the fd's read (= except) bit, POLLOUT
+      interest its write bit; a mask with neither removes the fd. *)
+
+  val remove : sset -> int -> unit
+  val mem : sset -> int -> bool
+
+  val interest_count : sset -> int
+  (** Cardinality of the read set (thttpd's interest-count proxy). *)
+
+  val active_fds : sset -> int list
+  (** Non-idle-certified fds, ascending; test hook for the churn
+      equivalence property. *)
+
+  val scan_sset : sset -> result * int
+  (** One charged scan pass (exposed for cost-equivalence tests). *)
+
+  val wait_sset : sset -> timeout:Time.t option -> k:(result -> unit) -> unit
+  (** One select() call over the set; contract as {!select}. *)
+end

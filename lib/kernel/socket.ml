@@ -12,6 +12,12 @@ type t = {
   wait_queue : waiter Wait_queue.t;
   mutable observers : (int * (Pollmask.t -> unit)) list;
   mutable next_observer : int;
+  (* Host-only bookkeeping channel: ready-set maintainers learn that
+     this socket may have changed state, at zero modeled cost. Invoked
+     before the wait queue wakes so a sleeper's synchronous rescan
+     already sees fresh activity marks. *)
+  mutable watchers : (int * (unit -> unit)) list;
+  mutable next_watcher : int;
   mutable hints_supported : bool;
   mutable payload : Buffer.t;
   mutable on_send : int -> unit;
@@ -37,6 +43,8 @@ let make ~host ~backlog state =
     wait_queue = Wait_queue.create ();
     observers = [];
     next_observer = 0;
+    watchers = [];
+    next_watcher = 0;
     hints_supported = host.Host.hints_by_default;
     payload = Buffer.create 64;
     on_send = (fun _ -> ());
@@ -53,7 +61,14 @@ let id t = t.id
 let state t = t.state
 let host t = t.host
 let hints_supported t = t.hints_supported
-let set_hints_supported t v = t.hints_supported <- v
+
+let notify_watchers t = List.iter (fun (_, f) -> f ()) t.watchers
+
+(* Toggling hint support invalidates any idle certification a backend
+   derived from it, so watchers must re-examine the socket. *)
+let set_hints_supported t v =
+  t.hints_supported <- v;
+  notify_watchers t
 
 let status t =
   let open Pollmask in
@@ -89,6 +104,15 @@ let subscribe t f =
 let unsubscribe t token =
   t.observers <- List.filter (fun (tok, _) -> tok <> token) t.observers
 
+let add_watcher t f =
+  let token = t.next_watcher in
+  t.next_watcher <- token + 1;
+  t.watchers <- (token, f) :: t.watchers;
+  token
+
+let remove_watcher t token =
+  t.watchers <- List.filter (fun (tok, _) -> tok <> token) t.watchers
+
 let waiter_count t = Wait_queue.length t.wait_queue
 let observer_count t = List.length t.observers
 
@@ -98,6 +122,7 @@ let observer_count t = List.length t.observers
 let post t mask =
   let costs = t.host.Host.costs in
   let counters = t.host.Host.counters in
+  notify_watchers t;
   let woken =
     Wait_queue.wake t.wait_queue ~policy:t.host.Host.wake_policy (fun w ->
         counters.Host.wait_queue_wakes <- counters.Host.wait_queue_wakes + 1;

@@ -65,6 +65,17 @@ val subscribe : t -> (Pollmask.t -> unit) -> int
 
 val unsubscribe : t -> int -> unit
 
+val add_watcher : t -> (unit -> unit) -> int
+(** [add_watcher s f] registers a host-only callback invoked whenever
+    the socket's readiness may have changed: at the top of every posted
+    edge (before the wait queue wakes, so a sleeper's synchronous
+    rescan already sees the watcher's effects) and when hint support is
+    toggled. Watchers carry zero modeled cost — they exist so backends
+    can maintain incremental ready sets without touching the charged
+    observer path. Returns a token for {!remove_watcher}. *)
+
+val remove_watcher : t -> int -> unit
+
 val waiter_count : t -> int
 val observer_count : t -> int
 

@@ -108,9 +108,10 @@ let pp_counters ppf p =
     c.Host.rt_enqueued c.Host.rt_dropped c.Host.rt_overflows
     c.Host.connections_refused o.Experiment.final_mode
 
-let csv_of_series s =
+let csv_of_series ?(x_header = "rate") s =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "rate,avg,sd,min,max,err_percent,median_ms,attempted,completed\n";
+  Buffer.add_string buf
+    (x_header ^ ",avg,sd,min,max,err_percent,median_ms,attempted,completed\n");
   List.iter
     (fun p ->
       let m = p.Sweep.outcome.Experiment.metrics in

@@ -21,6 +21,8 @@ val pp_counters : Format.formatter -> Sweep.point -> unit
 (** Kernel/server counter dump for one point (hints, driver polls,
     overflows, ...). *)
 
-val csv_of_series : series -> string
+val csv_of_series : ?x_header:string -> series -> string
 (** The series as CSV (header + one row per rate), for external
-    plotting tools. *)
+    plotting tools. [x_header] renames the first column (default
+    ["rate"]) for series whose x axis is not a request rate, e.g. the
+    idle-connection counts of the idle-scaling figure. *)

@@ -102,6 +102,32 @@ let prop_heap_mixed_ops =
         ops;
       Heap.length h = List.length !model)
 
+(* Vacated slots must not pin popped elements: a heap that lives for
+   the whole run (the engine's event queue) would otherwise leak every
+   closure it ever dispatched. *)
+let weak_of push_use =
+  let w = Weak.create 3 in
+  (* Allocate inside a closure so no stack root outlives the calls. *)
+  (fun () ->
+    let h = Heap.create ~leq:(fun (a : int ref) b -> !a <= !b) () in
+    for i = 0 to 2 do
+      let v = ref i in
+      Weak.set w i (Some v);
+      Heap.push h v
+    done;
+    push_use h)
+    ();
+  Gc.full_major ();
+  List.init 3 (fun i -> Weak.check w i)
+
+let test_pop_releases () =
+  let live = weak_of (fun h -> for _ = 1 to 3 do ignore (Heap.pop h) done) in
+  Alcotest.(check (list bool)) "all popped elements collected" [ false; false; false ] live
+
+let test_clear_releases () =
+  let live = weak_of Heap.clear in
+  Alcotest.(check (list bool)) "all cleared elements collected" [ false; false; false ] live
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -113,6 +139,8 @@ let suite =
     Alcotest.test_case "clear resets" `Quick test_clear;
     Alcotest.test_case "to_list snapshots" `Quick test_to_list;
     Alcotest.test_case "grows past capacity" `Quick test_growth;
+    Alcotest.test_case "pop releases elements" `Quick test_pop_releases;
+    Alcotest.test_case "clear releases elements" `Quick test_clear_releases;
     QCheck_alcotest.to_alcotest prop_heap_sort;
     QCheck_alcotest.to_alcotest prop_heap_mixed_ops;
   ]
