@@ -166,6 +166,81 @@ let fd_map_tests =
        (fun n -> [ fd_map_iterate n; hashtbl_snapshot_iterate n ])
        [ 10; 100; 1000 ])
 
+(* The compact arena vs the record constellation it replaced: a
+   pre-arena socket was ~a dozen heap blocks (two Sock_bufs, payload
+   buffer, wait queue, accept queue, closure lists); an arena socket
+   is one small immutable handle over the shared columns. The
+   minor-words-per-op column is the interesting one here — it is what
+   lets the idle-scaling figure hold 1M connections in host memory. *)
+type baseline_conn = {
+  mutable b_state : int;
+  b_rcv : Sock_buf.t;
+  b_snd : Sock_buf.t;
+  b_payload : Stdlib.Buffer.t;
+  b_waiters : Socket.waiter Wait_queue.t;
+  b_accept_q : int Queue.t;
+  mutable b_observers : (unit -> unit) list;
+  mutable b_watchers : (unit -> unit) list;
+}
+
+let baseline_conn () =
+  {
+    b_state = 1;
+    b_rcv = Sock_buf.create ~capacity:65536;
+    b_snd = Sock_buf.create ~capacity:65536;
+    b_payload = Stdlib.Buffer.create 64;
+    b_waiters = Wait_queue.create ();
+    b_accept_q = Queue.create ();
+    b_observers = [];
+    b_watchers = [];
+  }
+
+let arena_cycle =
+  Test.make ~name:"conn create+close (arena)"
+    (let engine = Engine.create () in
+     let host = Host.create ~engine ~costs:Cost_model.zero () in
+     Staged.stage (fun () ->
+         let s = Socket.create_established ~host in
+         Socket.close s))
+
+let baseline_cycle =
+  Test.make ~name:"conn create+drop (record baseline)"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (baseline_conn ()))))
+
+let arena_idle_block n =
+  Test.make ~name:(Printf.sprintf "idle conns x%d (arena)" n)
+    (let engine = Engine.create () in
+     let host = Host.create ~engine ~costs:Cost_model.zero () in
+     Staged.stage (fun () ->
+         let socks = Array.init n (fun _ -> Socket.create_established ~host) in
+         Array.iter Socket.close socks))
+
+let baseline_idle_block n =
+  Test.make ~name:(Printf.sprintf "idle conns x%d (record baseline)" n)
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Array.init n (fun _ -> baseline_conn ())))))
+
+let arena_churn =
+  Test.make ~name:"conn churn, 10k live (arena)"
+    (let engine = Engine.create () in
+     let host = Host.create ~engine ~costs:Cost_model.zero () in
+     let ring = Array.init 10_000 (fun _ -> Socket.create_established ~host) in
+     let i = ref 0 in
+     Staged.stage (fun () ->
+         Socket.close ring.(!i);
+         ring.(!i) <- Socket.create_established ~host;
+         i := (!i + 1) mod Array.length ring))
+
+let arena_tests =
+  Test.make_grouped ~name:"arena"
+    [
+      arena_cycle;
+      baseline_cycle;
+      arena_idle_block 1000;
+      baseline_idle_block 1000;
+      arena_churn;
+    ]
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -181,18 +256,29 @@ let tests =
       histogram_add;
       fd_map_tests;
       ready_set_tests;
+      arena_tests;
     ]
 
 (* Machine-readable mirror of the printed table, for commit alongside
-   the repo (BENCH_micro.json) and the README perf note. *)
+   the repo (BENCH_micro.json) and the README perf note. Each row
+   carries host wall time and minor-heap allocation per operation; the
+   latter is what `make bench-check` gates for the arena and fd-map
+   groups (allocation is near-deterministic, so a regression there is
+   a structural change, not noise). *)
 let write_json path rows =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
+  Printf.fprintf oc
+    "{\n  \"units\": [\"ns/op\", \"minor words/op\"],\n  \"results\": [\n";
+  let num = function
+    | Some v -> Printf.sprintf "%.1f" v
+    | None -> "null"
+  in
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %s}%s\n" name
-        (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+    (fun i (name, ns, words) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_op\": %s, \"minor_words_per_op\": %s}%s\n"
+        name (num ns) (num words)
         (if i = last then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -202,7 +288,9 @@ let run ?json_out ppf =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let clock = Instance.monotonic_clock in
+  let alloc = Instance.minor_allocated in
+  let instances = [ clock; alloc ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.25) ~stabilize:true ()
   in
@@ -211,33 +299,42 @@ let run ?json_out ppf =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
-  let json_rows = ref [] in
-  Fmt.pf ppf "== Microbenchmarks (host wall time per operation) ==@.";
-  (* Host-side report of a single measure instance; not simulation
-     state. The per-measure rows below are sorted before printing. *)
-  (Hashtbl.iter
-     (fun measure tbl ->
-      let rows =
+  let estimate r =
+    match Analyze.OLS.estimates r with
+    | Some (est :: _) -> Some est
+    | Some [] | None -> None
+  in
+  (* Host-side report; rows of each measure table are sorted before
+     anything observes their order. *)
+  let measure_rows witness =
+    match Hashtbl.find_opt merged (Measure.label witness) with
+    | None -> []
+    | Some tbl ->
         List.sort
-          (fun (a, _) (b, _) -> compare a b)
-          (Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) tbl [])
-      in
-      List.iter
-        (fun (name, ols_result) ->
-          match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) ->
-              json_rows := (name, Some est) :: !json_rows;
-              Fmt.pf ppf "%-48s %10.1f ns/%s@." name est measure
-          | Some [] | None ->
-              json_rows := (name, None) :: !json_rows;
-              Fmt.pf ppf "%-48s %10s@." name "n/a")
-        rows)
-     merged
-  [@lint.ignore "bechamel report table; host-side output, rows sorted above"]);
+          (fun (a, _) (b, _) -> compare (a : string) b)
+          (Hashtbl.fold (fun name r acc -> (name, estimate r) :: acc) tbl [])
+  in
+  let ns_rows = measure_rows clock in
+  let word_rows = measure_rows alloc in
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        (name, ns, Option.join (List.assoc_opt name word_rows)))
+      ns_rows
+  in
+  Fmt.pf ppf
+    "== Microbenchmarks (host wall time / minor words per operation) ==@.";
+  let cell = function
+    | Some v -> Printf.sprintf "%10.1f" v
+    | None -> Printf.sprintf "%10s" "n/a"
+  in
+  List.iter
+    (fun (name, ns, words) ->
+      Fmt.pf ppf "%-48s %s ns/op %s w/op@." name (cell ns) (cell words))
+    rows;
   (match json_out with
   | Some path ->
-      write_json path
-        (List.sort (fun (a, _) (b, _) -> compare (a : string) b) !json_rows);
+      write_json path rows;
       Fmt.pf ppf "wrote %s@." path
   | None -> ());
   Fmt.pf ppf "@."

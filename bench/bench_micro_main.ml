@@ -13,19 +13,27 @@
    not percent-level drift. *)
 
 (* One row of write_json's output: four-space indent, %S-quoted name,
-   a float or null, optional trailing comma. *)
+   ns/op and minor-words/op each a float or null, optional trailing
+   comma. Kept in lockstep with Bench_micro.write_json. *)
+let strip_trailing v =
+  let v = String.trim v in
+  if String.length v > 0 && v.[String.length v - 1] = ',' then
+    String.sub v 0 (String.length v - 1)
+  else v
+
 let parse_row line =
   match
-    Scanf.sscanf line " {%S: %S, %S: %s@}" (fun k1 name k2 v ->
-        if k1 = "name" && k2 = "ns_per_op" then Some (name, v) else None)
+    Scanf.sscanf line " {%S: %S, %S: %s@, %S: %s@}"
+      (fun k1 name k2 ns k3 words ->
+        if k1 = "name" && k2 = "ns_per_op" && k3 = "minor_words_per_op" then
+          Some (name, ns, words)
+        else None)
   with
-  | Some (name, v) ->
-      let v = String.trim v in
-      let v = if String.length v > 0 && v.[String.length v - 1] = ',' then
-          String.sub v 0 (String.length v - 1)
-        else v
-      in
-      Some (name, float_of_string_opt v)
+  | Some (name, ns, words) ->
+      Some
+        ( name,
+          ( float_of_string_opt (strip_trailing ns),
+            float_of_string_opt (strip_trailing words) ) )
   | None -> None
   | exception Scanf.Scan_failure _ | exception End_of_file | exception Failure _ -> None
 
@@ -44,6 +52,23 @@ let parse_results path =
 
 let tolerance = 3.0
 
+(* Allocation gate: minor words per op are near-deterministic (no
+   machine-load noise), so the tolerance is tight. Applied only to the
+   groups whose whole point is their allocation profile — the arena
+   (connection state must stay a thin handle) and the fd-map (ordered
+   iteration must not re-grow snapshot allocations). The small
+   absolute slack absorbs GC sampling jitter on near-zero rows. *)
+let alloc_tolerance = 1.5
+let alloc_slack_words = 16.0
+
+let alloc_gated name =
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  contains_sub name "arena/" || contains_sub name "fd-map/"
+
 let check committed_path =
   if not (Sys.file_exists committed_path) then begin
     Fmt.epr "bench-check: %s not found@." committed_path;
@@ -61,15 +86,25 @@ let check committed_path =
   let failures = ref 0 in
   let fail fmt = Fmt.kstr (fun msg -> incr failures; Fmt.epr "bench-check: %s@." msg) fmt in
   List.iter
-    (fun (name, fresh_ns) ->
-      match (List.assoc_opt name committed, fresh_ns) with
-      | None, _ ->
+    (fun (name, (fresh_ns, fresh_words)) ->
+      match List.assoc_opt name committed with
+      | None ->
           fail "%S is not in %s — run `make bench-micro` to refresh the committed numbers"
             name committed_path
-      | Some (Some committed_ns), Some fresh_ns when fresh_ns > tolerance *. committed_ns ->
-          fail "%-48s %10.1f ns/op exceeds %.0fx the committed %.1f" name fresh_ns
-            tolerance committed_ns
-      | Some _, _ -> ())
+      | Some (committed_ns, committed_words) ->
+          (match (committed_ns, fresh_ns) with
+          | Some c, Some f when f > tolerance *. c ->
+              fail "%-48s %10.1f ns/op exceeds %.0fx the committed %.1f" name f
+                tolerance c
+          | _ -> ());
+          if alloc_gated name then (
+            match (committed_words, fresh_words) with
+            | Some c, Some f
+              when f > (alloc_tolerance *. c) +. alloc_slack_words ->
+                fail
+                  "%-48s %10.1f minor words/op exceeds %.1fx the committed %.1f"
+                  name f alloc_tolerance c
+            | _ -> ()))
     fresh;
   List.iter
     (fun (name, _) ->

@@ -39,9 +39,14 @@ let resolve id =
       exit 2
 
 (* Every number a figure produces, as one string: any divergence
-   between the two passes shows up as a fingerprint mismatch. *)
-let fingerprint all_series =
-  String.concat "\n" (List.map Sio_loadgen.Report.csv_of_series (List.concat all_series))
+   between the two passes shows up as a fingerprint mismatch. The idle
+   leg goes through the memory-aware CSV so the modeled kernel-bytes
+   column is held to byte identity too (host RSS deliberately isn't —
+   it never appears in CSV). *)
+let fingerprint (fig_series, idle_series) =
+  String.concat "\n"
+    (List.map Sio_loadgen.Report.csv_of_series (List.concat fig_series)
+    @ List.map Sio_loadgen.Report.csv_of_idle_series idle_series)
 
 (* Measuring host wall time is the entire point of this bench; it
    never feeds back into the simulation (only the CSV fingerprint,
@@ -63,8 +68,8 @@ let () =
     + List.length idle_smoke
   in
   let run pool =
-    List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures
-    @ [ Scalanio.Figures.run_idle_scaling ?pool ~idles:idle_smoke ~rate:300 () ]
+    ( List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures,
+      Scalanio.Figures.run_idle_scaling ?pool ~idles:idle_smoke ~rate:300 () )
   in
   Fmt.epr "bench_wallclock: %s+idle-scaling, %d points/figure-set, scale %.2f@."
     (String.concat "+" figure_ids) points scale;

@@ -50,10 +50,49 @@ let write_idle_csv dir series =
           (Printf.sprintf "idle-scaling-%s.csv" (sanitize s.Sio_loadgen.Report.label))
       in
       let oc = open_out path in
-      output_string oc (Sio_loadgen.Report.csv_of_series ~x_header:"idle" s);
+      output_string oc (Sio_loadgen.Report.csv_of_idle_series s);
       close_out oc;
       Fmt.epr "wrote %s@." path)
     series
+
+(* The memory report: modeled kernel bytes (deterministic) next to the
+   measuring host's RSS (not deterministic, hence JSON only — the CSVs
+   and fingerprints stay reproducible). *)
+let write_idle_json dir seed series =
+  let path = Filename.concat dir "idle-scaling.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"figure\": \"idle-scaling\",\n  \"rate\": %d,\n  \"seed\": %d,\n  \"series\": [\n"
+       Scalanio.Figures.idle_scaling.Scalanio.Figures.is_rate seed);
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\n      \"label\": %S,\n      \"points\": [\n"
+           s.Sio_loadgen.Report.label);
+      let n = List.length s.Sio_loadgen.Report.points in
+      List.iteri
+        (fun pi p ->
+          let o = p.Sio_loadgen.Sweep.outcome in
+          let m = o.Sio_loadgen.Experiment.metrics in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        {\"idle\": %d, \"reply_rate_avg\": %.2f, \"err_percent\": %.2f, \"median_ms\": %.3f, \"kernel_mem_peak_bytes\": %d, \"host_rss_bytes\": %d}%s\n"
+               p.Sio_loadgen.Sweep.rate m.Sio_loadgen.Metrics.reply_rate_avg
+               m.Sio_loadgen.Metrics.error_percent
+               (Sio_loadgen.Metrics.median_latency_ms m)
+               o.Sio_loadgen.Experiment.kernel_mem_peak
+               o.Sio_loadgen.Experiment.host_rss_bytes
+               (if pi = n - 1 then "" else ",")))
+        s.Sio_loadgen.Report.points;
+      Buffer.add_string buf
+        (Printf.sprintf "      ]\n    }%s\n"
+           (if si = List.length series - 1 then "" else ",")))
+    series;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.epr "wrote %s@." path
 
 let run_idle_scaling pool seed quiet csv_dir =
   let on_point ~label p =
@@ -68,6 +107,7 @@ let run_idle_scaling pool seed quiet csv_dir =
   let series = Scalanio.Figures.run_idle_scaling ?pool ~seed ~on_point () in
   Scalanio.Figures.render_idle_scaling Fmt.stdout series;
   (match csv_dir with Some dir -> write_idle_csv dir series | None -> ());
+  write_idle_json (Option.value csv_dir ~default:Filename.current_dir_name) seed series;
   Fmt.pr "@."
 
 let with_jobs jobs f =

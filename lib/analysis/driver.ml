@@ -10,6 +10,7 @@ let base_rules =
     Rule_hashtbl_order.rule;
     Rule_domain_state.rule;
     Rule_syscall_cost.rule;
+    Rule_arena_slot.rule;
   ]
 
 (* stale-ignore shadow-runs the other rules with suppressions

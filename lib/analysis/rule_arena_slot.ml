@@ -1,0 +1,124 @@
+(* arena hygiene: raw Conn_arena slots must not outlive their scope.
+
+   [Conn_arena.alloc] returns a dense array index that the arena
+   reuses the moment the connection is freed. A raw slot stored in a
+   Hashtbl, a ref cell, or a mutable field keeps meaning "whatever
+   connection occupies that row now" — after reuse it silently renames
+   itself to a different connection, the classic stale-fd bug the
+   generation stamp exists to prevent (DESIGN.md §5). The safe pattern
+   is the one [Sio_kernel.Socket] uses: pack (slot, generation) into
+   an immutable handle at the alloc site and let only the handle
+   circulate; every dereference then revalidates the generation. We
+   approximate the escape syntactically: a let-bound alloc result (or
+   a direct [Conn_arena.alloc] application) appearing as an argument
+   to a [Hashtbl.*] function, on the right of [:=], or on the right of
+   a mutable-field assignment is a finding. *)
+
+open Ppxlib
+
+let id = "arena-slot"
+
+let doc =
+  "raw Conn_arena.alloc slots are reused after free; storing one in a \
+   Hashtbl, ref, or mutable field lets it silently rename to a later \
+   connection — pack (slot, generation) into an immutable handle, or \
+   annotate [@lint.ignore]"
+
+(* [Conn_arena.alloc] under any module prefix ([Conn_arena.alloc],
+   [Sio_kernel.Conn_arena.alloc], ...). *)
+let is_alloc_path p =
+  match List.rev p with "alloc" :: "Conn_arena" :: _ -> true | _ -> false
+
+let is_alloc_apply e =
+  match e.pexp_desc with
+  | Pexp_apply (fn, _) -> (
+      match fn.pexp_desc with
+      | Pexp_ident { txt; _ } -> is_alloc_path (Rule.path_of_lid txt)
+      | _ -> false)
+  | _ -> false
+
+(* Any [Hashtbl.<fn>] head, under any prefix ([Hashtbl.replace],
+   [Stdlib.Hashtbl.add], ...). *)
+let is_hashtbl_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match List.rev (Rule.path_of_lid txt) with
+      | _ :: "Hashtbl" :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let check ~ctx:_ ~path:_ str =
+  let acc = ref [] in
+  let report ~loc what =
+    acc :=
+      Finding.make ~loc ~rule:id
+        (Printf.sprintf
+           "a raw Conn_arena slot escapes into %s; slots are reused after \
+            free, so the stored index silently renames itself to a later \
+            connection. Pack (slot, generation) into an immutable handle at \
+            the alloc site, or annotate [@lint.ignore \"reason\"]."
+           what)
+      :: !acc
+  in
+  let visitor =
+    object (self)
+      inherit Rule.scoped_checker as super_scoped
+
+      (* Identifiers currently let-bound to a raw [Conn_arena.alloc]
+         result, innermost scope first. Rebinding a name to anything
+         else shadows it out of the set. *)
+      val mutable slots = ([] : string list)
+
+      method private is_slot e =
+        is_alloc_apply e
+        ||
+        match e.pexp_desc with
+        | Pexp_ident { txt = Lident n; _ } -> List.mem n slots
+        | _ -> false
+
+      method! expression e =
+        match e.pexp_desc with
+        | Pexp_let (_, vbs, _) ->
+            let var vb =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> Some txt
+              | _ -> None
+            in
+            let bound alloc =
+              List.filter_map
+                (fun vb ->
+                  if is_alloc_apply vb.pvb_expr = alloc then var vb else None)
+                vbs
+            in
+            let added = bound true and shadowed = bound false in
+            let saved = slots in
+            slots <-
+              added @ List.filter (fun n -> not (List.mem n shadowed)) slots;
+            super_scoped#expression e;
+            slots <- saved
+        | _ -> super_scoped#expression e
+
+      method enter_expression e =
+        match e.pexp_desc with
+        | Pexp_apply (fn, args) ->
+            if is_hashtbl_head fn then
+              List.iter
+                (fun (_, arg) ->
+                  if self#is_slot arg then
+                    report ~loc:arg.pexp_loc "a Hashtbl argument")
+                args
+            else (
+              match (fn.pexp_desc, args) with
+              | Pexp_ident { txt = Lident ":="; _ }, [ _; (_, rhs) ]
+                when self#is_slot rhs ->
+                  report ~loc:rhs.pexp_loc "a ref cell"
+              | _ -> ())
+        | Pexp_setfield (_, _, rhs) when self#is_slot rhs ->
+            report ~loc:rhs.pexp_loc "a mutable record field"
+        | _ -> ()
+    end
+  in
+  visitor#structure str;
+  List.rev !acc
+
+let rule = { Rule.id; doc; check }

@@ -57,20 +57,35 @@ val render : Format.formatter -> t -> Report.series list -> unit
 
     Not one of the paper's numbered figures: reply rate and median
     latency vs {e idle-connection count} at a fixed request rate, out
-    to the paper's 35 000-connection regime — feasible on the host
-    only because every scan path is O(active). *)
+    to the paper's 35 000-connection regime and beyond (100k, 1M) —
+    feasible on the host only because every scan path is O(active)
+    and per-connection state lives in the compact arena. *)
 
 type idle_scaling = {
   is_id : string;
   is_title : string;
   is_expectation : string;
   is_rate : int;  (** fixed request rate for every point *)
-  is_idles : int list;  (** the x axis: {501, 2000, 10000, 35000} *)
+  is_idles : int list;
+      (** the x axis: {501, 2000, 10000, 35000, 100000, 1000000} *)
   is_series : (string * Experiment.server_kind) list;
       (** poll, /dev/poll, epoll (select is FD_SETSIZE-bound) *)
 }
 
 val idle_scaling : idle_scaling
+
+val poll_idle_cap : int
+(** Largest idle count the stock-poll series runs (35 000), and the
+    threshold above which [run_idle_scaling] switches to the mega-idle
+    regime (paced connects, slow retries, idle sweep pushed past the
+    horizon). Past it a single O(idle)-per-wait poll point would
+    dominate the whole sweep's host time. *)
+
+val devpoll_idle_cap : int
+(** Largest idle count the /dev/poll series runs (100 000): its
+    per-interest hint checks saturate the host's modeled CPU around
+    80k interests, so the 100k point displays the breakdown and the
+    series stops there. Renderers pad missing cells with ["-"]. *)
 
 val run_idle_scaling :
   ?pool:Sio_sim.Domain_pool.t ->
@@ -81,7 +96,12 @@ val run_idle_scaling :
   unit ->
   Report.series list
 (** One series per mechanism; each point's [Sweep.rate] field carries
-    the idle count (the series' x axis). Deterministic in [seed];
-    [pool] parallelizes over idle counts with bit-identical results. *)
+    the idle count (the series' x axis). Each series skips idle counts
+    above its mechanism's cap ([poll_idle_cap], [devpoll_idle_cap];
+    epoll runs the full axis). Counts above [poll_idle_cap] also pace
+    the idle pool's connects at ~2.5k SYN/s, slow its retry timer, and
+    disable the server's idle sweep for the run (the mega-idle
+    regime). Deterministic in [seed]; [pool] parallelizes over idle
+    counts with bit-identical results. *)
 
 val render_idle_scaling : Format.formatter -> Report.series list -> unit

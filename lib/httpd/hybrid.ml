@@ -85,6 +85,9 @@ let accept_pending t =
     | Error `Emfile ->
         t.stats.Server_stats.emfile_drops <- t.stats.Server_stats.emfile_drops + 1;
         go ()
+    | Error `Enobufs ->
+        t.stats.Server_stats.enobufs_drops <- t.stats.Server_stats.enobufs_drops + 1;
+        go ()
     | Error (`Ebadf | `Einval) -> ()
   in
   go ()

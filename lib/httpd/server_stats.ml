@@ -9,6 +9,7 @@ type t = {
   mutable overflow_recoveries : int;
   mutable mode_switches : int;
   mutable emfile_drops : int;
+  mutable enobufs_drops : int;
   reply_sampler : Sampler.t;
 }
 
@@ -22,6 +23,7 @@ let create ?(sample_interval = Time.s 1) () =
     overflow_recoveries = 0;
     mode_switches = 0;
     emfile_drops = 0;
+    enobufs_drops = 0;
     reply_sampler = Sampler.create ~interval:sample_interval;
   }
 
@@ -33,6 +35,6 @@ let reply_rates t ~until = Sampler.rates t.reply_sampler ~until
 
 let pp ppf t =
   Fmt.pf ppf
-    "replies=%d accepted=%d dropped=%d timed_out=%d stale=%d overflows=%d switches=%d emfile=%d"
+    "replies=%d accepted=%d dropped=%d timed_out=%d stale=%d overflows=%d switches=%d emfile=%d enobufs=%d"
     t.replies t.accepted t.dropped_conns t.timed_out_conns t.stale_events
-    t.overflow_recoveries t.mode_switches t.emfile_drops
+    t.overflow_recoveries t.mode_switches t.emfile_drops t.enobufs_drops

@@ -12,6 +12,8 @@ type t = {
   mutable overflow_recoveries : int;  (** RT queue overflow episodes *)
   mutable mode_switches : int;  (** hybrid: signals <-> polling *)
   mutable emfile_drops : int;  (** accepts refused for lack of fds *)
+  mutable enobufs_drops : int;
+      (** accepts refused for lack of modeled kernel memory *)
   reply_sampler : Sampler.t;
 }
 

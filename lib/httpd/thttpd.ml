@@ -58,6 +58,10 @@ let accept_pending t =
         (* Connection was dropped by the kernel; try the next one. *)
         t.stats.Server_stats.emfile_drops <- t.stats.Server_stats.emfile_drops + 1;
         go ()
+    | Error `Enobufs ->
+        (* Kernel memory exhausted; the connection was dropped. *)
+        t.stats.Server_stats.enobufs_drops <- t.stats.Server_stats.enobufs_drops + 1;
+        go ()
     | Error (`Ebadf | `Einval) -> ()
   in
   go ()

@@ -25,6 +25,7 @@ type t = {
   close_syscall : Time.t;
   copy_per_byte_ns : float;
   sendfile_per_byte_ns : float;
+  sock_struct_bytes : int;
 }
 
 (* Calibration notes: a 400 MHz K6-2 executes ~2-3 us of kernel path
@@ -59,6 +60,10 @@ let default =
     close_syscall = Time.us 18;
     copy_per_byte_ns = 25.0;
     sendfile_per_byte_ns = 12.0;
+    (* struct sock + sk_buff head room etc. on the paper's 2.2-era
+       kernel; the dominant term is the socket buffers, charged
+       separately from the live capacities. *)
+    sock_struct_bytes = 1_024;
   }
 
 let copy_cost t ~bytes_len =
@@ -93,6 +98,7 @@ let zero =
     close_syscall = Time.zero;
     copy_per_byte_ns = 0.;
     sendfile_per_byte_ns = 0.;
+    sock_struct_bytes = 0;
   }
 
 (* Analytic bulk charge: [count] repetitions of one constant-cost

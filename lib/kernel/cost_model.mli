@@ -60,6 +60,11 @@ type t = {
           kernel-internal pass instead of two crossings); the paper's
           Section 6 suggests studying sendfile with the new event
           models *)
+  sock_struct_bytes : int;
+      (** modeled kernel bytes of fixed per-socket state (struct sock
+          and friends) beyond the receive/send buffer capacities;
+          accept() reserves [sock_struct_bytes + rcv_cap + snd_cap]
+          against the host's memory limit *)
 }
 
 val default : t

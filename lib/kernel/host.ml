@@ -20,6 +20,10 @@ type t = {
   wake_policy : Wait_queue.wake_policy;
   counters : counters;
   hints_by_default : bool;
+  arena : Conn_arena.t;
+  mem_limit : int;
+  mutable mem_used : int;
+  mutable mem_peak : int;
 }
 
 let fresh_counters () =
@@ -38,12 +42,37 @@ let fresh_counters () =
 
 let create ~engine ?(costs = Cost_model.default)
     ?(wake_policy = Wait_queue.Wake_all) ?(infinitely_fast = false)
-    ?(hints_by_default = true) () =
+    ?(hints_by_default = true) ?(mem_limit = max_int) () =
   let cpu =
     if infinitely_fast then Cpu.infinitely_fast ~engine else Cpu.create ~engine
   in
-  { engine; cpu; costs; wake_policy; counters = fresh_counters (); hints_by_default }
+  {
+    engine;
+    cpu;
+    costs;
+    wake_policy;
+    counters = fresh_counters ();
+    hints_by_default;
+    arena = Conn_arena.create ();
+    mem_limit;
+    mem_used = 0;
+    mem_peak = 0;
+  }
 
 let now t = Engine.now t.engine
 let charge t cost = Cpu.consume t.cpu cost
 let charge_run t ~cost k = Cpu.run t.cpu ~cost k
+
+(* Modeled kernel memory: admission either fully reserves or refuses;
+   no partial grants, so [mem_used] is always a sum of whole
+   per-connection reservations. *)
+let mem_reserve t n =
+  if n < 0 then invalid_arg "Host.mem_reserve: negative size";
+  if t.mem_used > t.mem_limit - n then false
+  else begin
+    t.mem_used <- t.mem_used + n;
+    if t.mem_used > t.mem_peak then t.mem_peak <- t.mem_used;
+    true
+  end
+
+let mem_release t n = t.mem_used <- t.mem_used - n

@@ -31,6 +31,11 @@ type t = {
   hints_by_default : bool;
       (** whether freshly created sockets' drivers participate in
           /dev/poll hinting; the hints ablation switches this off *)
+  arena : Conn_arena.t;  (** struct-of-arrays socket state store *)
+  mem_limit : int;
+      (** modeled kernel-memory budget in bytes; [max_int] = unlimited *)
+  mutable mem_used : int;  (** bytes currently reserved *)
+  mutable mem_peak : int;  (** high-water mark of [mem_used] *)
 }
 
 val create :
@@ -39,10 +44,11 @@ val create :
   ?wake_policy:Wait_queue.wake_policy ->
   ?infinitely_fast:bool ->
   ?hints_by_default:bool ->
+  ?mem_limit:int ->
   unit ->
   t
 (** Defaults: {!Cost_model.default}, [Wake_all] (Linux 2.2 behaviour),
-    finite CPU, hinting drivers. *)
+    finite CPU, hinting drivers, unlimited kernel memory. *)
 
 val now : t -> Time.t
 
@@ -51,5 +57,11 @@ val charge : t -> Time.t -> Time.t
 
 val charge_run : t -> cost:Time.t -> (unit -> unit) -> unit
 (** Charges CPU work and schedules the continuation at completion. *)
+
+val mem_reserve : t -> int -> bool
+(** [mem_reserve t n] reserves [n] modeled kernel bytes; [false]
+    (nothing reserved) when the budget would be exceeded. *)
+
+val mem_release : t -> int -> unit
 
 val fresh_counters : unit -> counters

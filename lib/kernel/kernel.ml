@@ -30,15 +30,27 @@ let accept proc fd =
   | Some listener -> (
       match Socket.accept_pop listener with
       | None -> Error `Eagain
-      | Some sock -> (
-          ignore (Host.charge host costs.Cost_model.accept_syscall);
-          host.Host.counters.Host.accepts <- host.Host.counters.Host.accepts + 1;
-          match Process.install_socket proc sock with
-          | Ok newfd -> Ok (newfd, sock)
-          | Error `Emfile ->
-              (* Out of descriptors: the connection is dropped. *)
-              Socket.reset sock;
-              Error `Emfile))
+      | Some sock ->
+          if not (Socket.reserve_kernel_memory sock) then begin
+            (* Modeled kernel memory exhausted: the connection is
+               dropped before an fd is minted (the RST surfaces
+               through the socket's observers). *)
+            Socket.reset sock;
+            Socket.discard sock;
+            Error `Enobufs
+          end
+          else begin
+            ignore (Host.charge host costs.Cost_model.accept_syscall);
+            host.Host.counters.Host.accepts <- host.Host.counters.Host.accepts + 1;
+            match Process.install_socket proc sock with
+            | Ok newfd -> Ok (newfd, sock)
+            | Error `Emfile ->
+                (* Out of descriptors: the connection is dropped and
+                   its arena slot reclaimed. *)
+                Socket.reset sock;
+                Socket.discard sock;
+                Error `Emfile
+          end)
 
 let read proc fd =
   let host = enter proc Time.zero in

@@ -23,10 +23,15 @@ type 'a syscall_result = ('a, [ `Ebadf | `Emfile | `Eagain | `Einval ]) result
 val listen : Process.t -> backlog:int -> int syscall_result
 (** socket() + bind() + listen(): a listening descriptor. *)
 
-val accept : Process.t -> int -> (int * Socket.t) syscall_result
+val accept :
+  Process.t ->
+  int ->
+  (int * Socket.t, [ `Ebadf | `Emfile | `Eagain | `Einval | `Enobufs ]) result
 (** [`Eagain] when the accept queue is empty; [`Emfile] when the
-    process is out of descriptors (the connection is dropped, as the
-    real kernel does). *)
+    process is out of descriptors; [`Enobufs] when the host's modeled
+    kernel-memory budget ({!Host.t.mem_limit}) cannot fit another
+    connection. In both drop cases the connection is reset and its
+    arena slot reclaimed, as the real kernel does. *)
 
 val read : Process.t -> int -> read_result syscall_result
 

@@ -1,55 +1,174 @@
+(* A socket is a thin generation-stamped handle over the host's
+   connection arena: the hot scalars (state, buffer levels, flags)
+   live in [Conn_arena] columns, and everything pointer-shaped
+   (closures, payload text, the accept queue) lives in a lazily
+   created cold record hanging off the arena's side table. Closing a
+   socket frees its slot, which stales every outstanding handle in
+   O(1); stale handles read as [Closed]/POLLNVAL and every mutating
+   operation on them is inert. *)
 
 type state = Listening | Established | Peer_closed | Reset | Closed
 
-type t = {
-  host : Host.t;
-  id : int;
-  backlog : int;
-  mutable state : state;
-  rcv : Sock_buf.t;
-  snd : Sock_buf.t;
-  accept_queue : t Queue.t;
-  wait_queue : waiter Wait_queue.t;
-  mutable observers : (int * (Pollmask.t -> unit)) list;
-  mutable next_observer : int;
-  (* Host-only bookkeeping channel: ready-set maintainers learn that
-     this socket may have changed state, at zero modeled cost. Invoked
-     before the wait queue wakes so a sleeper's synchronous rescan
-     already sees fresh activity marks. *)
-  mutable watchers : (int * (unit -> unit)) list;
-  mutable next_watcher : int;
-  mutable hints_supported : bool;
-  mutable payload : Buffer.t;
+type t = { host : Host.t; slot : int; gen : int; id : int }
+
+type waiter = { wake : Pollmask.t -> unit }
+
+(* Arena state-column encoding; 0 marks a free slot. *)
+let st_listening = 1
+let st_established = 2
+let st_peer_closed = 3
+let st_reset = 4
+let st_closed = 5
+
+let int_of_state = function
+  | Listening -> st_listening
+  | Established -> st_established
+  | Peer_closed -> st_peer_closed
+  | Reset -> st_reset
+  | Closed -> st_closed
+
+let state_of_int = function
+  | 1 -> Listening
+  | 2 -> Established
+  | 3 -> Peer_closed
+  | 4 -> Reset
+  | _ -> Closed
+
+let flag_hints = 1
+let flag_mem = 2
+
+(* Token-addressed registration slabs for observers and watchers.
+   Tokens are minted monotonically, entries stay token-sorted, and
+   removal marks the entry dead after a binary search — O(log n)
+   instead of the old O(n) [List.filter] rebuild — with dead entries
+   compacted away before the slab grows. Iteration is newest-first to
+   preserve the prepend-list semantics the seed had: additions made
+   during a notification are not seen by that notification, removals
+   are (entry records are shared between the live slab and a walk in
+   progress). *)
+module Regs = struct
+  type 'f entry = { tok : int; mutable fn : 'f option }
+
+  type 'f t = {
+    mutable entries : 'f entry array; (* token-ascending; used prefix [0, len) *)
+    mutable len : int;
+    mutable count : int; (* live entries *)
+    mutable next : int; (* next token to mint *)
+  }
+
+  let create () = { entries = [||]; len = 0; count = 0; next = 0 }
+
+  let compact t =
+    let j = ref 0 in
+    for i = 0 to t.len - 1 do
+      let e = t.entries.(i) in
+      match e.fn with
+      | Some _ ->
+          t.entries.(!j) <- e;
+          incr j
+      | None -> ()
+    done;
+    t.len <- !j
+
+  let add t f =
+    let tok = t.next in
+    t.next <- tok + 1;
+    if t.len = Array.length t.entries then begin
+      if t.count < t.len then compact t;
+      if t.len = Array.length t.entries then begin
+        let cap = Stdlib.max 4 (2 * Array.length t.entries) in
+        let entries = Array.make cap { tok = 0; fn = None } in
+        Array.blit t.entries 0 entries 0 t.len;
+        t.entries <- entries
+      end
+    end;
+    t.entries.(t.len) <- { tok; fn = Some f };
+    t.len <- t.len + 1;
+    t.count <- t.count + 1;
+    tok
+
+  let remove t tok =
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let e = t.entries.(mid) in
+      if e.tok = tok then begin
+        (match e.fn with
+        | Some _ ->
+            e.fn <- None;
+            t.count <- t.count - 1
+        | None -> ());
+        lo := !hi + 1
+      end
+      else if e.tok < tok then lo := mid + 1
+      else hi := mid - 1
+    done
+
+  let count t = t.count
+
+  let iter_rev t f =
+    let entries = t.entries and len = t.len in
+    for i = len - 1 downto 0 do
+      match entries.(i).fn with Some g -> f g | None -> ()
+    done
+end
+
+type cold_rec = {
+  accept_q : t Queue.t;
+  waitq : waiter Wait_queue.t;
+  observers : (Pollmask.t -> unit) Regs.t;
+  watchers : (unit -> unit) Regs.t;
+  mutable payload : Buffer.t option;
   mutable on_send : int -> unit;
   mutable on_close : unit -> unit;
 }
 
-and waiter = { wake : Pollmask.t -> unit }
+type Conn_arena.cold += Sock_cold of cold_rec
+
+let arena t = t.host.Host.arena
+let live t = Conn_arena.is_live (arena t) ~slot:t.slot ~gen:t.gen
+
+let cold_opt t =
+  match (arena t).Conn_arena.cold.(t.slot) with
+  | Some (Sock_cold c) -> Some c
+  | _ -> None
+
+(* Only called on live handles. *)
+let cold t =
+  match (arena t).Conn_arena.cold.(t.slot) with
+  | Some (Sock_cold c) -> c
+  | _ ->
+      let c =
+        {
+          accept_q = Queue.create ();
+          waitq = Wait_queue.create ();
+          observers = Regs.create ();
+          watchers = Regs.create ();
+          payload = None;
+          on_send = (fun _ -> ());
+          on_close = (fun () -> ());
+        }
+      in
+      (arena t).Conn_arena.cold.(t.slot) <- Some (Sock_cold c);
+      c
 
 (* Atomic so experiments running on separate domains (Domain_pool)
    never mint duplicate ids; the values themselves carry no meaning
    beyond identity within one host. *)
 let next_id = Atomic.make 0
 
-let make ~host ~backlog state =
-  {
-    host;
-    id = 1 + Atomic.fetch_and_add next_id 1;
-    backlog;
-    state;
-    rcv = Sock_buf.create ~capacity:65536;
-    snd = Sock_buf.create ~capacity:65536;
-    accept_queue = Queue.create ();
-    wait_queue = Wait_queue.create ();
-    observers = [];
-    next_observer = 0;
-    watchers = [];
-    next_watcher = 0;
-    hints_supported = host.Host.hints_by_default;
-    payload = Buffer.create 64;
-    on_send = (fun _ -> ());
-    on_close = (fun () -> ());
-  }
+let make ~host ~backlog st =
+  let a = host.Host.arena in
+  let slot = Conn_arena.alloc a in
+  let id = 1 + Atomic.fetch_and_add next_id 1 in
+  a.Conn_arena.st.{slot} <- int_of_state st;
+  a.Conn_arena.flags.{slot} <-
+    (if host.Host.hints_by_default then flag_hints else 0);
+  a.Conn_arena.sock_id.{slot} <- id;
+  a.Conn_arena.backlog.{slot} <- backlog;
+  a.Conn_arena.rcv_cap.{slot} <- 65536;
+  a.Conn_arena.snd_cap.{slot} <- 65536;
+  { host; slot; gen = a.Conn_arena.gen.{slot}; id }
 
 let create_listening ~host ~backlog =
   if backlog <= 0 then invalid_arg "Socket.create_listening: backlog must be positive";
@@ -58,33 +177,59 @@ let create_listening ~host ~backlog =
 let create_established ~host = make ~host ~backlog:0 Established
 
 let id t = t.id
-let state t = t.state
+let state t = if live t then state_of_int (arena t).Conn_arena.st.{t.slot} else Closed
 let host t = t.host
-let hints_supported t = t.hints_supported
 
-let notify_watchers t = List.iter (fun (_, f) -> f ()) t.watchers
+let hints_supported t =
+  live t && (arena t).Conn_arena.flags.{t.slot} land flag_hints <> 0
+
+let notify_watchers t =
+  match cold_opt t with
+  | Some c -> Regs.iter_rev c.watchers (fun f -> f ())
+  | None -> ()
 
 (* Toggling hint support invalidates any idle certification a backend
    derived from it, so watchers must re-examine the socket. *)
 let set_hints_supported t v =
-  t.hints_supported <- v;
-  notify_watchers t
+  if live t then begin
+    let a = arena t in
+    let f = a.Conn_arena.flags.{t.slot} in
+    a.Conn_arena.flags.{t.slot} <-
+      (if v then f lor flag_hints else f land lnot flag_hints);
+    notify_watchers t
+  end
 
 let status t =
   let open Pollmask in
-  match t.state with
-  | Listening -> if Queue.is_empty t.accept_queue then empty else pollin
-  | Established ->
-      let r = if Sock_buf.is_empty t.rcv then empty else pollin in
-      let w = if Sock_buf.space t.snd > 0 then pollout else empty in
-      union r w
-  | Peer_closed ->
-      (* Readable: either buffered bytes or EOF. Half-close still
-         allows writing. *)
-      let w = if Sock_buf.space t.snd > 0 then pollout else empty in
-      union (union pollin pollhup) w
-  | Reset -> union Pollmask.pollerr Pollmask.pollhup
-  | Closed -> pollnval
+  if not (live t) then pollnval
+  else begin
+    let a = arena t in
+    let slot = t.slot in
+    match a.Conn_arena.st.{slot} with
+    | 1 (* Listening *) -> (
+        match cold_opt t with
+        | Some c when not (Queue.is_empty c.accept_q) -> pollin
+        | Some _ | None -> empty)
+    | 2 (* Established *) ->
+        let r = if a.Conn_arena.rcv_level.{slot} = 0 then empty else pollin in
+        let w =
+          if a.Conn_arena.snd_cap.{slot} - a.Conn_arena.snd_level.{slot} > 0 then
+            pollout
+          else empty
+        in
+        union r w
+    | 3 (* Peer_closed *) ->
+        (* Readable: either buffered bytes or EOF. Half-close still
+           allows writing. *)
+        let w =
+          if a.Conn_arena.snd_cap.{slot} - a.Conn_arena.snd_level.{slot} > 0 then
+            pollout
+          else empty
+        in
+        union (union pollin pollhup) w
+    | 4 (* Reset *) -> union pollerr pollhup
+    | _ (* Closed *) -> pollnval
+  end
 
 let driver_poll t =
   let c = t.host.Host.counters in
@@ -92,139 +237,287 @@ let driver_poll t =
   ignore (Host.charge t.host t.host.Host.costs.Cost_model.driver_poll_callback);
   status t
 
-let register_waiter t w = Wait_queue.register t.wait_queue w
-let unregister_waiter t w = Wait_queue.unregister t.wait_queue w
+let register_waiter t w = if live t then Wait_queue.register (cold t).waitq w
+
+let unregister_waiter t w =
+  match if live t then cold_opt t else None with
+  | Some c -> Wait_queue.unregister c.waitq w
+  | None -> false
 
 let subscribe t f =
-  let token = t.next_observer in
-  t.next_observer <- token + 1;
-  t.observers <- (token, f) :: t.observers;
-  token
+  if not (live t) then 0
+  else begin
+    let tok = Regs.add (cold t).observers f in
+    (arena t).Conn_arena.obs_next.{t.slot} <- tok + 1;
+    tok
+  end
 
 let unsubscribe t token =
-  t.observers <- List.filter (fun (tok, _) -> tok <> token) t.observers
+  if live t then
+    match cold_opt t with Some c -> Regs.remove c.observers token | None -> ()
 
 let add_watcher t f =
-  let token = t.next_watcher in
-  t.next_watcher <- token + 1;
-  t.watchers <- (token, f) :: t.watchers;
-  token
+  if not (live t) then 0
+  else begin
+    let tok = Regs.add (cold t).watchers f in
+    (arena t).Conn_arena.watch_next.{t.slot} <- tok + 1;
+    tok
+  end
 
 let remove_watcher t token =
-  t.watchers <- List.filter (fun (tok, _) -> tok <> token) t.watchers
+  if live t then
+    match cold_opt t with Some c -> Regs.remove c.watchers token | None -> ()
 
-let waiter_count t = Wait_queue.length t.wait_queue
-let observer_count t = List.length t.observers
+let waiter_count t =
+  match if live t then cold_opt t else None with
+  | Some c -> Wait_queue.length c.waitq
+  | None -> 0
+
+let observer_count t =
+  match if live t then cold_opt t else None with
+  | Some c -> Regs.count c.observers
+  | None -> 0
 
 (* Post a readiness edge: wake classic-poll sleepers (charging wake
    cost per task) and notify observers (charging the backmap read lock
-   when the driver participates in hinting). *)
+   when the driver participates in hinting). Only ever called on a
+   live socket. *)
 let post t mask =
-  let costs = t.host.Host.costs in
-  let counters = t.host.Host.counters in
-  notify_watchers t;
-  let woken =
-    Wait_queue.wake t.wait_queue ~policy:t.host.Host.wake_policy (fun w ->
-        counters.Host.wait_queue_wakes <- counters.Host.wait_queue_wakes + 1;
-        ignore (Host.charge t.host costs.Cost_model.wait_queue_wake);
-        w.wake mask)
-  in
-  ignore woken;
-  match t.observers with
-  | [] -> ()
-  | observers ->
-      if t.hints_supported then
-        ignore (Host.charge t.host costs.Cost_model.backmap_read_lock);
-      List.iter (fun (_, f) -> f mask) observers
-
-let deliver t ~bytes_len ~payload =
-  match t.state with
-  | Established | Peer_closed ->
+  match cold_opt t with
+  | None -> ()
+  | Some c ->
       let costs = t.host.Host.costs in
       let counters = t.host.Host.counters in
-      counters.Host.softirqs <- counters.Host.softirqs + 1;
-      ignore (Host.charge t.host costs.Cost_model.softirq_per_packet);
-      let was_empty = Sock_buf.is_empty t.rcv in
-      let accepted = Sock_buf.push t.rcv bytes_len in
-      if String.length payload > 0 then Buffer.add_string t.payload payload;
-      if accepted > 0 && was_empty then post t Pollmask.pollin;
-      accepted
-  | Listening | Reset | Closed -> 0
+      Regs.iter_rev c.watchers (fun f -> f ());
+      let woken =
+        Wait_queue.wake c.waitq ~policy:t.host.Host.wake_policy (fun w ->
+            counters.Host.wait_queue_wakes <- counters.Host.wait_queue_wakes + 1;
+            ignore (Host.charge t.host costs.Cost_model.wait_queue_wake);
+            w.wake mask)
+      in
+      ignore woken;
+      if Regs.count c.observers > 0 then begin
+        if hints_supported t then
+          ignore (Host.charge t.host costs.Cost_model.backmap_read_lock);
+        Regs.iter_rev c.observers (fun f -> f mask)
+      end
+
+let deliver t ~bytes_len ~payload =
+  if bytes_len < 0 then invalid_arg "Sock_buf.push: negative size";
+  if not (live t) then 0
+  else begin
+    let a = arena t in
+    let slot = t.slot in
+    match a.Conn_arena.st.{slot} with
+    | 2 | 3 ->
+        let costs = t.host.Host.costs in
+        let counters = t.host.Host.counters in
+        counters.Host.softirqs <- counters.Host.softirqs + 1;
+        ignore (Host.charge t.host costs.Cost_model.softirq_per_packet);
+        let level = a.Conn_arena.rcv_level.{slot} in
+        let was_empty = level = 0 in
+        let accepted = Stdlib.min bytes_len (a.Conn_arena.rcv_cap.{slot} - level) in
+        a.Conn_arena.rcv_level.{slot} <- level + accepted;
+        if String.length payload > 0 then begin
+          let c = cold t in
+          let buf =
+            match c.payload with
+            | Some b -> b
+            | None ->
+                let b = Buffer.create 64 in
+                c.payload <- Some b;
+                b
+          in
+          Buffer.add_string buf payload
+        end;
+        if accepted > 0 && was_empty then post t Pollmask.pollin;
+        accepted
+    | _ -> 0
+  end
 
 let enqueue_accept t peer =
-  match t.state with
-  | Listening ->
-      if Queue.length t.accept_queue >= t.backlog then begin
-        let counters = t.host.Host.counters in
-        counters.Host.connections_refused <- counters.Host.connections_refused + 1;
-        false
-      end
-      else begin
-        let was_empty = Queue.is_empty t.accept_queue in
-        Queue.add peer t.accept_queue;
-        if was_empty then post t Pollmask.pollin;
-        true
-      end
-  | Established | Peer_closed | Reset | Closed -> false
+  if not (live t) then false
+  else begin
+    let a = arena t in
+    match a.Conn_arena.st.{t.slot} with
+    | 1 ->
+        let c = cold t in
+        if Queue.length c.accept_q >= a.Conn_arena.backlog.{t.slot} then begin
+          let counters = t.host.Host.counters in
+          counters.Host.connections_refused <-
+            counters.Host.connections_refused + 1;
+          false
+        end
+        else begin
+          let was_empty = Queue.is_empty c.accept_q in
+          Queue.add peer c.accept_q;
+          if was_empty then post t Pollmask.pollin;
+          true
+        end
+    | _ -> false
+  end
 
 let peer_closed t =
-  match t.state with
-  | Established ->
-      t.state <- Peer_closed;
-      post t (Pollmask.union Pollmask.pollin Pollmask.pollhup)
-  | Listening | Peer_closed | Reset | Closed -> ()
+  if live t then begin
+    let a = arena t in
+    match a.Conn_arena.st.{t.slot} with
+    | 2 ->
+        a.Conn_arena.st.{t.slot} <- st_peer_closed;
+        post t (Pollmask.union Pollmask.pollin Pollmask.pollhup)
+    | _ -> ()
+  end
 
 let reset t =
-  match t.state with
-  | Established | Peer_closed | Listening ->
-      t.state <- Reset;
-      post t Pollmask.pollerr
-  | Reset | Closed -> ()
+  if live t then begin
+    let a = arena t in
+    match a.Conn_arena.st.{t.slot} with
+    | 1 | 2 | 3 ->
+        a.Conn_arena.st.{t.slot} <- st_reset;
+        post t Pollmask.pollerr
+    | _ -> ()
+  end
 
 let release_send_space t n =
-  if n > 0 then begin
-    let was_full = Sock_buf.space t.snd = 0 in
-    let _ = Sock_buf.drain t.snd n in
-    match t.state with
-    | Established | Peer_closed -> if was_full then post t Pollmask.pollout
-    | Listening | Reset | Closed -> ()
+  if n > 0 && live t then begin
+    let a = arena t in
+    let slot = t.slot in
+    let level = a.Conn_arena.snd_level.{slot} in
+    let was_full = a.Conn_arena.snd_cap.{slot} - level = 0 in
+    a.Conn_arena.snd_level.{slot} <- level - Stdlib.min n level;
+    match a.Conn_arena.st.{slot} with
+    | 2 | 3 -> if was_full then post t Pollmask.pollout
+    | _ -> ()
   end
 
 let set_transport t ~on_send ~on_close =
-  t.on_send <- on_send;
-  t.on_close <- on_close
+  if live t then begin
+    let c = cold t in
+    c.on_send <- on_send;
+    c.on_close <- on_close
+  end
 
-let transport_send t n = t.on_send n
+let transport_send t n =
+  match if live t then cold_opt t else None with
+  | Some c -> c.on_send n
+  | None -> ()
 
 let read_all t =
-  let bytes = Sock_buf.drain_all t.rcv in
-  let text = Buffer.contents t.payload in
-  Buffer.clear t.payload;
-  (bytes, text)
+  if not (live t) then (0, "")
+  else begin
+    let a = arena t in
+    let bytes = a.Conn_arena.rcv_level.{t.slot} in
+    a.Conn_arena.rcv_level.{t.slot} <- 0;
+    let text =
+      match cold_opt t with
+      | Some { payload = Some b; _ } ->
+          let s = Buffer.contents b in
+          Buffer.clear b;
+          s
+      | Some _ | None -> ""
+    in
+    (bytes, text)
+  end
 
 let write_reserve t n =
-  match t.state with
-  | Established | Peer_closed -> Sock_buf.push t.snd n
-  | Listening | Reset | Closed -> 0
+  if n < 0 then invalid_arg "Sock_buf.push: negative size";
+  if not (live t) then 0
+  else begin
+    let a = arena t in
+    let slot = t.slot in
+    match a.Conn_arena.st.{slot} with
+    | 2 | 3 ->
+        let level = a.Conn_arena.snd_level.{slot} in
+        let accepted = Stdlib.min n (a.Conn_arena.snd_cap.{slot} - level) in
+        a.Conn_arena.snd_level.{slot} <- level + accepted;
+        accepted
+    | _ -> 0
+  end
 
 let accept_pop t =
-  match t.state with
-  | Listening -> Queue.take_opt t.accept_queue
-  | Established | Peer_closed | Reset | Closed -> None
+  if live t && (arena t).Conn_arena.st.{t.slot} = st_listening then
+    match cold_opt t with Some c -> Queue.take_opt c.accept_q | None -> None
+  else None
 
-let accept_queue_length t = Queue.length t.accept_queue
+let accept_queue_length t =
+  match if live t then cold_opt t else None with
+  | Some c -> Queue.length c.accept_q
+  | None -> 0
+
+(* Kernel-memory accounting (modeled): accept() reserves the fixed
+   socket struct plus both buffer capacities; close/discard release
+   it. The charged flag makes release idempotent. *)
+let reserve_kernel_memory t =
+  if not (live t) then false
+  else begin
+    let a = arena t in
+    let slot = t.slot in
+    if a.Conn_arena.flags.{slot} land flag_mem <> 0 then true
+    else begin
+      let bytes =
+        t.host.Host.costs.Cost_model.sock_struct_bytes
+        + a.Conn_arena.rcv_cap.{slot}
+        + a.Conn_arena.snd_cap.{slot}
+      in
+      if Host.mem_reserve t.host bytes then begin
+        a.Conn_arena.flags.{slot} <- a.Conn_arena.flags.{slot} lor flag_mem;
+        a.Conn_arena.mem_bytes.{slot} <- bytes;
+        true
+      end
+      else false
+    end
+  end
+
+let release_kernel_memory t =
+  let a = arena t in
+  let slot = t.slot in
+  if a.Conn_arena.flags.{slot} land flag_mem <> 0 then begin
+    a.Conn_arena.flags.{slot} <- a.Conn_arena.flags.{slot} land lnot flag_mem;
+    Host.mem_release t.host a.Conn_arena.mem_bytes.{slot};
+    a.Conn_arena.mem_bytes.{slot} <- 0
+  end
+
+let kernel_memory_bytes t =
+  if live t then (arena t).Conn_arena.mem_bytes.{t.slot} else 0
+
+let set_tcp_link t cid = if live t then (arena t).Conn_arena.tcp_id.{t.slot} <- cid
+let tcp_link t = if live t then (arena t).Conn_arena.tcp_id.{t.slot} else 0
+
+(* Reclaim a connection that never reached an application fd (refused
+   handshake, accept-path drop) with zero observable behaviour: no
+   edge is posted, no hook runs, no cost is charged — only the memory
+   reservation and the slot come back. *)
+let discard t =
+  if live t then begin
+    release_kernel_memory t;
+    Conn_arena.free (arena t) t.slot
+  end
 
 let close t =
-  match t.state with
-  | Closed -> ()
-  | Listening | Established | Peer_closed | Reset ->
-      t.state <- Closed;
-      let _ = Sock_buf.drain_all t.rcv in
-      let _ = Sock_buf.drain_all t.snd in
-      Buffer.clear t.payload;
-      Queue.clear t.accept_queue;
-      post t Pollmask.pollnval;
-      t.on_close ()
+  if live t then begin
+    let a = arena t in
+    match a.Conn_arena.st.{t.slot} with
+    | 5 -> ()
+    | _ ->
+        a.Conn_arena.st.{t.slot} <- st_closed;
+        a.Conn_arena.rcv_level.{t.slot} <- 0;
+        a.Conn_arena.snd_level.{t.slot} <- 0;
+        let on_close =
+          match cold_opt t with
+          | Some c ->
+              (match c.payload with Some b -> Buffer.clear b | None -> ());
+              Queue.clear c.accept_q;
+              c.on_close
+          | None -> fun () -> ()
+        in
+        post t Pollmask.pollnval;
+        on_close ();
+        (* Release everything the connection pinned: the memory
+           reservation, the cold record (closures, payload buffer) and
+           the slot itself. Outstanding handles go stale and read as
+           [Closed]. *)
+        release_kernel_memory t;
+        Conn_arena.free a t.slot
+  end
 
 let pp_state ppf = function
   | Listening -> Fmt.string ppf "LISTENING"

@@ -10,7 +10,15 @@
 
     Payload strings ride alongside byte counts so the HTTP layer can
     parse real request text while buffer occupancy stays a cheap
-    integer. *)
+    integer.
+
+    Representation: a socket is a thin immutable handle (arena slot +
+    generation stamp) over {!Host.t}'s {!Conn_arena}; closing frees
+    the slot and stales every outstanding handle, which then reads as
+    [Closed]/POLLNVAL while all mutating operations on it are inert.
+    Handle identity is physical and unique: the record minted at
+    creation is the one stored in accept queues and fd tables, so
+    [==] comparisons keep working. *)
 
 
 type state =
@@ -126,7 +134,33 @@ val accept_pop : t -> t option
 val accept_queue_length : t -> int
 
 val close : t -> unit
-(** Marks [Closed], empties buffers, and posts POLLNVAL so sleepers
-    re-evaluate. *)
+(** Marks [Closed], empties buffers, posts POLLNVAL so sleepers
+    re-evaluate, then releases everything the connection pinned: the
+    kernel-memory reservation, observer/watcher closures, the payload
+    buffer, and the arena slot itself. *)
+
+val discard : t -> unit
+(** Reclaims a connection that never reached an application fd (a
+    refused handshake, an accept-path drop) with zero observable
+    behaviour: no edge, no hook, no charge — only the memory
+    reservation and the arena slot come back. *)
+
+(** {1 Kernel memory} (modeled; see {!Cost_model.t.sock_struct_bytes}) *)
+
+val reserve_kernel_memory : t -> bool
+(** Reserves [sock_struct_bytes + rcv_cap + snd_cap] against the
+    host's memory budget; [false] when the budget would be exceeded
+    (the accept path then refuses the connection). Idempotent. *)
+
+val kernel_memory_bytes : t -> int
+(** Bytes currently reserved for this connection (0 when none). *)
+
+(** {1 TCP linkage} *)
+
+val set_tcp_link : t -> int -> unit
+(** Records the owning {!Tcp} connection id in the arena. *)
+
+val tcp_link : t -> int
+(** The owning TCP connection id, or 0. *)
 
 val pp_state : Format.formatter -> state -> unit

@@ -63,6 +63,7 @@ let connect ~net ~listener ?(extra_latency = Time.zero) ~handlers () =
       match Socket.state listener with
       | Socket.Listening ->
           let sock = Socket.create_established ~host in
+          Socket.set_tcp_link sock conn.id;
           Socket.set_transport sock
             ~on_send:(fun n ->
               (* Response bytes toward the client; buffer space is
@@ -89,7 +90,12 @@ let connect ~net ~listener ?(extra_latency = Time.zero) ~handlers () =
             Network.send_to_client net ~extra_latency ~bytes_len:segment_overhead
               (fun () -> if conn.client_open then handlers.on_established conn)
           end
-          else refuse ()
+          else begin
+            refuse ();
+            (* The backlog refused it: nothing holds this socket, so
+               its arena slot would leak across a reopen storm. *)
+            Socket.discard sock
+          end
       | Socket.Established | Socket.Peer_closed | Socket.Reset | Socket.Closed ->
           let counters = host.Host.counters in
           counters.Host.connections_refused <- counters.Host.connections_refused + 1;

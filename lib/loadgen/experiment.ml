@@ -33,6 +33,7 @@ type config = {
   hints : bool;
   wake_policy : Wait_queue.wake_policy;
   use_sendfile : bool;
+  kernel_mem_limit : int option;
 }
 
 let default_config ~kind ~workload =
@@ -51,6 +52,7 @@ let default_config ~kind ~workload =
     hints = true;
     wake_policy = Wait_queue.Wake_all;
     use_sendfile = false;
+    kernel_mem_limit = None;
   }
 
 type outcome = {
@@ -61,6 +63,8 @@ type outcome = {
   inactive_established : int;
   inactive_reopens : int;
   final_mode : string;
+  kernel_mem_peak : int;
+  host_rss_bytes : int;
 }
 
 type running_server = {
@@ -160,7 +164,7 @@ let run cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let host =
     Host.create ~engine ~costs:cfg.costs ~wake_policy:cfg.wake_policy
-      ~hints_by_default:cfg.hints ()
+      ~hints_by_default:cfg.hints ?mem_limit:cfg.kernel_mem_limit ()
   in
   let net = Sio_net.Network.create ~engine () in
   let proc = Process.create ~host ~fd_limit:cfg.server_fd_limit ~name:"server" () in
@@ -196,4 +200,6 @@ let run cfg =
     inactive_established = Inactive.established pool;
     inactive_reopens = Inactive.reopens pool;
     final_mode;
+    kernel_mem_peak = host.Host.mem_peak;
+    host_rss_bytes = Host_mem.rss_bytes ();
   }

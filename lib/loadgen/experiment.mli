@@ -34,6 +34,10 @@ type config = {
   wake_policy : Wait_queue.wake_policy;
   use_sendfile : bool;
       (** serve responses through sendfile() (paper §6 future work) *)
+  kernel_mem_limit : int option;
+      (** cap on modeled kernel memory for sockets ([Host.create]'s
+          [mem_limit]); [None] (the default) models an unbounded
+          machine and leaves accept behavior exactly as before *)
 }
 
 val default_config : kind:server_kind -> workload:Workload.t -> config
@@ -48,6 +52,13 @@ type outcome = {
   inactive_established : int;
   inactive_reopens : int;
   final_mode : string;  (** phhttpd/hybrid: mode at end of run *)
+  kernel_mem_peak : int;
+      (** peak modeled kernel memory reserved for sockets over the
+          run, in bytes; deterministic in the seed *)
+  host_rss_bytes : int;
+      (** measuring host's RSS right after the run: methodology
+          context for the memory figure, nondeterministic — report in
+          JSON only, never in fingerprinted output *)
 }
 
 val run : config -> outcome

@@ -1,0 +1,23 @@
+(* Host-process RSS, for the memory columns of the extended
+   idle-scaling figure. Reads /proc/self/statm (resident pages); the
+   value is a property of the measuring host, not of the simulation,
+   so it must never feed a CSV fingerprint or any determinism check —
+   JSON report fields only. *)
+
+let page_size = 4096
+
+let rss_bytes () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let resident =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line -> (
+            match String.split_on_char ' ' line with
+            | _size :: resident :: _ ->
+                Option.value (int_of_string_opt resident) ~default:0
+            | _ -> 0)
+      in
+      close_in ic;
+      resident * page_size

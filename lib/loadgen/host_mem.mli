@@ -1,0 +1,9 @@
+(** Resident-set size of the measuring host process.
+
+    Nondeterministic by nature (GC timing, allocator behavior): report
+    it in JSON next to the modeled kernel bytes, never in CSV output
+    or anything compared for byte identity. *)
+
+val rss_bytes : unit -> int
+(** Current RSS in bytes, from [/proc/self/statm]. Returns 0 on hosts
+    without procfs. *)

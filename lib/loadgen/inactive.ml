@@ -73,8 +73,9 @@ let start ~engine ~net ~listener ~workload ~rng () =
     }
   in
   let n = workload.Workload.inactive_connections in
+  let window = workload.Workload.inactive_open_window in
   for i = 0 to n - 1 do
-    let jitter = if n <= 1 then Time.zero else Time.ns (i * (Time.ms 500 / n)) in
+    let jitter = if n <= 1 then Time.zero else Time.ns (i * (window / n)) in
     ignore (Engine.after engine jitter (fun () -> open_one t ~first:true))
   done;
   t

@@ -122,3 +122,20 @@ let csv_of_series ?(x_header = "rate") s =
            (Metrics.median_latency_ms m) m.Metrics.attempted m.Metrics.completed))
     s.points;
   Buffer.contents buf
+
+let csv_of_idle_series s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "idle,avg,sd,min,max,err_percent,median_ms,attempted,completed,kernel_bytes\n";
+  List.iter
+    (fun p ->
+      let o = p.Sweep.outcome in
+      let m = o.Experiment.metrics in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.3f,%d,%d,%d\n" p.Sweep.rate
+           m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd m.Metrics.reply_rate_min
+           m.Metrics.reply_rate_max m.Metrics.error_percent
+           (Metrics.median_latency_ms m) m.Metrics.attempted m.Metrics.completed
+           o.Experiment.kernel_mem_peak))
+    s.points;
+  Buffer.contents buf

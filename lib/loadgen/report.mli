@@ -26,3 +26,10 @@ val csv_of_series : ?x_header:string -> series -> string
     plotting tools. [x_header] renames the first column (default
     ["rate"]) for series whose x axis is not a request rate, e.g. the
     idle-connection counts of the idle-scaling figure. *)
+
+val csv_of_idle_series : series -> string
+(** [csv_of_series ~x_header:"idle"] plus a trailing [kernel_bytes]
+    column: the peak modeled kernel memory reserved for sockets during
+    the point's run. Deterministic in the seed, so safe to include in
+    byte-identity fingerprints (unlike host RSS, which stays out of
+    CSV entirely). *)

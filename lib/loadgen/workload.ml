@@ -14,6 +14,7 @@ type t = {
   inactive_latency : Latency_profile.t;
   active_latency : Latency_profile.t;
   inactive_reopen_delay : Time.t;
+  inactive_open_window : Time.t;
 }
 
 let default =
@@ -30,6 +31,7 @@ let default =
     inactive_latency = Latency_profile.Wan { base = Time.ms 80; jitter = Time.ms 60 };
     active_latency = Latency_profile.Lan;
     inactive_reopen_delay = Time.ms 500;
+    inactive_open_window = Time.ms 500;
   }
 
 let scaled w f =

@@ -29,6 +29,10 @@ type t = {
           "32,000 high latency connections from across the Internet") *)
   inactive_reopen_delay : Time.t;
       (** how quickly a timed-out idle client reconnects *)
+  inactive_open_window : Time.t;
+      (** the idle pool's initial connects spread over this window
+          (default 500 ms); stretch it for mega-idle populations so
+          the SYN rate stays bounded *)
 }
 
 val default : t

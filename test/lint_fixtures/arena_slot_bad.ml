@@ -1,0 +1,19 @@
+(* Fixture: raw arena slots escaping into long-lived mutable storage.
+   Each escape keeps a dense, reusable index alive past the alloc
+   site, so after the connection is freed the stored slot silently
+   names whatever connection reuses the row. *)
+
+type conn_meta = { mutable slot_field : int }
+
+let by_slot : (int, string) Hashtbl.t = Hashtbl.create 16
+let last_slot = ref 0
+
+let leak_into_hashtbl arena name =
+  let slot = Conn_arena.alloc arena in
+  Hashtbl.replace by_slot slot name
+
+let leak_into_ref arena = last_slot := Conn_arena.alloc arena
+
+let leak_into_field arena meta =
+  let slot = Conn_arena.alloc arena in
+  meta.slot_field <- slot

@@ -1,0 +1,16 @@
+(* Fixture: the conforming pattern. The raw slot is packed into an
+   immutable generation-stamped handle at the alloc site; only the
+   handle circulates, and every dereference revalidates the
+   generation, so reuse of the row is detected instead of silently
+   renaming the stored index. *)
+
+type handle = { slot : int; generation : int }
+
+let make arena =
+  let slot = Conn_arena.alloc arena in
+  { slot; generation = Conn_arena.generation arena slot }
+
+let remember tbl arena name =
+  let h = make arena in
+  Hashtbl.replace tbl h.generation name;
+  h

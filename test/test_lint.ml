@@ -24,7 +24,14 @@ let check_clean_paths name paths () =
 let test_rule_registry () =
   Alcotest.(check (list string))
     "rule ids"
-    [ "nondet-clock"; "hashtbl-order"; "module-state"; "syscall-cost"; "stale-ignore" ]
+    [
+      "nondet-clock";
+      "hashtbl-order";
+      "module-state";
+      "syscall-cost";
+      "arena-slot";
+      "stale-ignore";
+    ]
     (List.map (fun r -> r.Rule.id) Driver.all_rules);
   List.iter
     (fun r -> Alcotest.(check bool) (r.Rule.id ^ " has doc") true (r.Rule.doc <> ""))
@@ -147,6 +154,25 @@ let test_cost_only_kernel_ml () =
   Alcotest.(check int)
     "not applied outside kernel.ml" 0
     (List.length (Rule_syscall_cost.rule.Rule.check ~ctx ~path:"lint_fixtures/other.ml" str))
+
+(* --- arena-slot ---------------------------------------------------- *)
+
+let slot_msg what =
+  "a raw Conn_arena slot escapes into " ^ what
+  ^ "; slots are reused after free, so the stored index silently renames itself to a later connection. Pack (slot, generation) into an immutable handle at the alloc site, or annotate [@lint.ignore \"reason\"]."
+
+let test_arena_slot_bad () =
+  Alcotest.(check (list string))
+    "arena_slot_bad findings"
+    [
+      Printf.sprintf "lint_fixtures/arena_slot_bad.ml:13:26: arena-slot: %s"
+        (slot_msg "a Hashtbl argument");
+      Printf.sprintf "lint_fixtures/arena_slot_bad.ml:15:39: arena-slot: %s"
+        (slot_msg "a ref cell");
+      Printf.sprintf "lint_fixtures/arena_slot_bad.ml:19:21: arena-slot: %s"
+        (slot_msg "a mutable record field");
+    ]
+    (render "arena_slot_bad.ml")
 
 (* --- stale-ignore (suppression auditing) --------------------------- *)
 
@@ -334,6 +360,9 @@ let suite =
     Alcotest.test_case "syscall-cost: reverted callee charge surfaces" `Quick
       test_cost_interproc_bad;
     Alcotest.test_case "syscall-cost: scoped to kernel.ml" `Quick test_cost_only_kernel_ml;
+    Alcotest.test_case "arena-slot: violations" `Quick test_arena_slot_bad;
+    Alcotest.test_case "arena-slot: conforming" `Quick
+      (check_clean "arena_slot_ok" "arena_slot_ok.ml");
     Alcotest.test_case "stale-ignore: outlived suppression fires" `Quick test_stale_ignore_bad;
     Alcotest.test_case "stale-ignore: earning suppressions stay silent" `Quick
       (check_clean "clock_ok (audited)" "clock_ok.ml");

@@ -42,6 +42,8 @@ let mk_point rate =
         inactive_established = 251;
         inactive_reopens = 0;
         final_mode = "devpoll";
+        kernel_mem_peak = 0;
+        host_rss_bytes = 0;
       };
   }
 
