@@ -21,18 +21,20 @@ test:
 lint: build
 	dune exec bin/sio_lint.exe -- lib bin bench examples
 
-# Suppression audit: list every [@lint.ignore] site, then fail if any
+# Suppression audit: list every [@lint.ignore] site and fail if any
 # of them is stale (its removal would produce zero findings — the
-# hazard it excused is gone, so the annotation must go too).
+# hazard it excused is gone, so the annotation must go too). One
+# invocation: --audit-ignores runs the stale-ignore check itself.
 lint-audit: build
 	dune exec bin/sio_lint.exe -- --audit-ignores lib bin bench examples
-	dune exec bin/sio_lint.exe -- --rule stale-ignore lib bin bench examples
 
 # Tier-1 verify plus lint (including the suppression audit) and a tiny
 # wall-clock smoke: build + full test suite + static analysis +
-# sequential-vs-parallel byte-identity.
+# sequential-vs-parallel byte-identity. Lint runs exactly twice: once
+# for findings, once for the suppression audit.
 check:
-	dune build && dune runtest && dune exec bin/sio_lint.exe -- lib bin bench examples
+	dune build && dune runtest
+	$(MAKE) lint
 	$(MAKE) lint-audit
 	$(MAKE) bench-check
 	$(MAKE) bench-smoke

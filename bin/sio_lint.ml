@@ -15,7 +15,9 @@ let usage =
    cost-accounting invariants. With no paths, scans lib bin bench\n\
    examples under the current directory.\n\
   \  --callgraph     dump the resolved cross-module call graph and exit\n\
-  \  --audit-ignores list every [@lint.ignore] suppression site and exit"
+  \  --audit-ignores list every [@lint.ignore] suppression site, then run the\n\
+  \                  stale-ignore check over the same parse (exit 1 if any\n\
+  \                  suppression has outlived its hazard)"
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
@@ -57,7 +59,8 @@ let () =
         "FMT dump the call graph as json or dot, then exit" );
       ( "--audit-ignores",
         Arg.Set audit_ignores,
-        " list every [@lint.ignore] site (file:line:col: reason), then exit" );
+        " list every [@lint.ignore] site (file:line:col: reason) and fail if any is \
+         stale" );
       ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
     ]
   in
@@ -97,18 +100,29 @@ let () =
       print_endline
         (match fmt with "dot" -> Callgraph.to_dot graph | _ -> Callgraph.to_json graph)
   | None ->
+      let loaded = Driver.load roots in
       if !audit_ignores then begin
-        let loaded = Driver.load roots in
+        (* One parse serves both halves of the audit: the suppression
+           listing and the stale-ignore check it implies. *)
         loaded.Driver.parsed
         |> List.concat_map (fun (file, str) ->
                List.map (fun (s : Ignores.site) -> (file, s)) (Ignores.collect str))
         |> List.sort compare
         |> List.iter (fun (file, (s : Ignores.site)) ->
                Printf.printf "%s:%d:%d: %s\n" file s.line s.col
-                 (Option.value s.reason ~default:"(no reason)"))
+                 (Option.value s.reason ~default:"(no reason)"));
+        let stale =
+          match Driver.find_rule "stale-ignore" with Some r -> [ r ] | None -> []
+        in
+        let findings = Driver.analyze_loaded ~rules:stale loaded in
+        List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+        if findings <> [] then begin
+          Printf.eprintf "sio_lint: %d stale suppression(s)\n" (List.length findings);
+          exit 1
+        end
       end
       else begin
-        let findings = Driver.analyze_paths ~rules roots in
+        let findings = Driver.analyze_loaded ~rules loaded in
         (match !format with
         | Text -> List.iter (fun f -> print_endline (Finding.to_string f)) findings
         | Json ->

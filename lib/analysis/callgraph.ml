@@ -27,16 +27,16 @@ let build (index : Symbol_index.t) =
   let nodes =
     List.map
       (fun (s : Symbol_index.symbol) ->
-        let current_module = match s.qname with m :: _ -> m | [] -> "" in
+        let scope = Symbol_index.scope_of s in
         let callees =
           s.mentions
-          |> List.concat_map (fun p -> Symbol_index.resolve index ~current_module p)
+          |> List.concat_map (fun p -> Symbol_index.resolve_in index ~scope p)
           |> List.map (fun (c : Symbol_index.symbol) -> c.uid)
           |> List.sort_uniq String.compare
         in
         let unresolved =
           (s.app_heads
-          |> List.filter (fun p -> Symbol_index.resolve index ~current_module p = [])
+          |> List.filter (fun p -> Symbol_index.resolve_in index ~scope p = [])
           |> List.map (String.concat "."))
           @ (if s.has_opaque_call then [ "<fun>" ] else [])
           |> List.sort_uniq String.compare

@@ -70,6 +70,9 @@ type evidence = {
 }
 
 type t = {
+  files : (string * Ppxlib.structure) list;
+      (** the parsed inputs the index was built from; audit-mode rules
+          substitute a stripped file and re-derive their state *)
   index : Symbol_index.t;
   graph : Callgraph.t Lazy.t;
   audit : bool;
@@ -124,10 +127,10 @@ let build files =
          match SMap.find_opt s.uid wit with
          | None -> m
          | Some root ->
-             let current_module = match s.qname with mname :: _ -> mname | [] -> "" in
+             let scope = Symbol_index.scope_of s in
              List.fold_left
                (fun m (w : Symbol_index.write) ->
-                 Symbol_index.resolve index ~current_module w.target
+                 Symbol_index.resolve_in index ~scope w.target
                  |> List.filter (fun (b : Symbol_index.symbol) -> b.mutable_ctor <> None)
                  |> List.fold_left
                       (fun m (b : Symbol_index.symbol) ->
@@ -154,7 +157,7 @@ let build files =
                    (a.writer_file, a.wline, a.wcol, a.op)
                    (b.writer_file, b.wline, b.wcol, b.op))))
   in
-  { index; graph; audit = false; charging; domain_witness; domain_writes }
+  { files; index; graph; audit = false; charging; domain_witness; domain_writes }
 
 let of_file path str = build [ (path, str) ]
 let with_audit t = { t with audit = true }

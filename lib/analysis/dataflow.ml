@@ -1,0 +1,173 @@
+(* Interprocedural fact propagation with provenance.
+
+   The engine under nondet-taint and resource-pairing: a named fact
+   (a taint kind, an acquire obligation) seeded at some definitions
+   propagates callee-to-caller along the resolved call graph, carrying
+   a provenance path — the step sequence a report can replay as SARIF
+   codeFlows. Same design rules as [Reachability]:
+
+   - deterministic: nodes are swept in the caller-supplied order,
+     callees in callgraph (sorted) order, so the final fact table is a
+     pure function of the graph and seeds;
+   - bounded: a node holds each fact at most once (first path wins and
+     is never replaced — additions are monotone, so the sweep loop
+     terminates once no fact moves), and every path is clipped to
+     [max_path] steps with the origin end preserved;
+   - conservative: unresolved calls contribute nothing — a fact never
+     travels through an edge the callgraph could not prove. *)
+
+module SMap = Map.Make (String)
+
+(* A provenance path: consumer-to-origin step list; the head is the
+   step nearest the reporting site, the last element is the origin
+   (the source mention, the acquire site). *)
+type facts = Finding.step list SMap.t
+
+type t = facts SMap.t
+
+let max_path = 16
+
+(* Clip long paths keeping both ends meaningful: the head steps show
+   where the fact entered the reporting scope, the preserved tail is
+   the origin. *)
+let clip path =
+  let n = List.length path in
+  if n <= max_path then path
+  else
+    let rec take k = function
+      | x :: tl when k > 0 -> x :: take (k - 1) tl
+      | _ -> []
+    in
+    let origin = List.nth path (n - 1) in
+    take (max_path - 1) path @ [ origin ]
+
+let facts (t : t) node = Option.value (SMap.find_opt node t) ~default:SMap.empty
+
+(* Fixpoint: each seed installs its fact at its node; then repeatedly,
+   every caller inherits every fact its callees hold, with the
+   call-site step prepended to the callee's path. [call_step caller
+   callee] supplies that step (None drops the edge — e.g. when no
+   mention site could be attributed). *)
+let solve ~order ~callees ~call_step ~seeds : t =
+  let state = ref SMap.empty in
+  let facts_of n = Option.value (SMap.find_opt n !state) ~default:SMap.empty in
+  List.iter
+    (fun n ->
+      let fs =
+        List.fold_left
+          (fun m (fact, path) -> if SMap.mem fact m then m else SMap.add fact (clip path) m)
+          (facts_of n) (seeds n)
+      in
+      if not (SMap.is_empty fs) then state := SMap.add n fs !state)
+    order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun caller ->
+        List.iter
+          (fun callee ->
+            if not (String.equal caller callee) then begin
+              let cfs = facts_of callee in
+              if not (SMap.is_empty cfs) then
+                match call_step caller callee with
+                | None -> ()
+                | Some st ->
+                    let before = facts_of caller in
+                    let after =
+                      SMap.fold
+                        (fun fact path acc ->
+                          if SMap.mem fact acc then acc
+                          else begin
+                            changed := true;
+                            SMap.add fact (clip (st :: path)) acc
+                          end)
+                        cfs before
+                    in
+                    if not (SMap.is_empty after) then state := SMap.add caller after !state
+            end)
+          (callees caller))
+      order
+  done;
+  !state
+
+(* Attribute a call step to each resolved (caller, callee) edge: the
+   first mention site in the caller's body that resolves to the
+   callee, labelled with the callee's qualified name. Shared by both
+   rule families so their codeFlows agree on positions. *)
+let call_step_of_index (index : Symbol_index.t) =
+  let per_caller =
+    List.fold_left
+      (fun m (s : Symbol_index.symbol) ->
+        let scope = Symbol_index.scope_of s in
+        let sites =
+          List.fold_left
+            (fun acc (p, line, col) ->
+              Symbol_index.resolve_in index ~scope p
+              |> List.fold_left
+                   (fun acc (target : Symbol_index.symbol) ->
+                     if SMap.mem target.uid acc then acc
+                     else
+                       SMap.add target.uid
+                         {
+                           Finding.sfile = s.file;
+                           sline = line;
+                           scol = col;
+                           swhat = String.concat "." target.qname;
+                         }
+                         acc)
+                   acc)
+            SMap.empty s.mention_sites
+        in
+        SMap.add s.uid sites m)
+      SMap.empty index.symbols
+  in
+  fun caller callee ->
+    match SMap.find_opt caller per_caller with
+    | None -> None
+    | Some sites -> SMap.find_opt callee sites
+
+(* Human rendering of a provenance path for the text report: the step
+   labels consumer-to-origin, with the origin's position appended. *)
+let path_to_string steps =
+  match List.rev steps with
+  | [] -> ""
+  | origin :: _ ->
+      String.concat " -> " (List.map (fun s -> s.Finding.swhat) steps)
+      ^ Printf.sprintf " (%s:%d)" origin.Finding.sfile origin.Finding.sline
+
+(* List-level convenience over an explicit edge list, used by the
+   property tests (mirror of [Reachability.reachable]): which (node,
+   fact) pairs hold after propagation, sorted. Monotone in [edges]:
+   any superset of the edge set yields a superset of the result —
+   first-path-wins only affects provenance, never fact membership. *)
+let propagate ~edges ~seeds =
+  let nodes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (a, b) -> [ a; b ]) edges @ List.map fst seeds)
+  in
+  let succ_map =
+    List.fold_left
+      (fun m (a, b) ->
+        SMap.update a (function None -> Some [ b ] | Some l -> Some (b :: l)) m)
+      SMap.empty edges
+  in
+  let callees n =
+    match SMap.find_opt n succ_map with
+    | Some l -> List.sort_uniq String.compare l
+    | None -> []
+  in
+  let dummy = { Finding.sfile = "<edge>"; sline = 0; scol = 0; swhat = "" } in
+  let seed_map =
+    List.fold_left
+      (fun m (n, fact) ->
+        SMap.update n
+          (function None -> Some [ (fact, []) ] | Some l -> Some ((fact, []) :: l))
+          m)
+      SMap.empty seeds
+  in
+  solve ~order:nodes ~callees
+    ~call_step:(fun _ _ -> Some dummy)
+    ~seeds:(fun n -> match SMap.find_opt n seed_map with Some l -> List.rev l | None -> [])
+  |> SMap.bindings
+  |> List.concat_map (fun (n, fs) -> List.map (fun (fact, _) -> (n, fact)) (SMap.bindings fs))

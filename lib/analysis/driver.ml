@@ -11,6 +11,8 @@ let base_rules =
     Rule_domain_state.rule;
     Rule_syscall_cost.rule;
     Rule_arena_slot.rule;
+    Rule_nondet_taint.rule;
+    Rule_resource_pairing.rule;
   ]
 
 (* stale-ignore shadow-runs the other rules with suppressions
@@ -36,6 +38,7 @@ let parse_error_finding path e =
     col = 0;
     rule = "parse-error";
     message = Printexc.to_string e;
+    flow = [];
   }
 
 (* All .ml files under [root], depth-first, in sorted order. Build
@@ -97,10 +100,11 @@ let load paths =
 let run_rules rules ctx (file, str) =
   List.concat_map (fun r -> r.Rule.check ~ctx ~path:file str) rules
 
-let analyze_paths ?(rules = all_rules) paths =
-  let { parsed; errors } = load paths in
+let analyze_loaded ?(rules = all_rules) { parsed; errors } =
   let ctx = Context.build parsed in
   errors @ List.concat_map (run_rules rules ctx) parsed |> List.sort Finding.compare
+
+let analyze_paths ?rules paths = analyze_loaded ?rules (load paths)
 
 (* Single-file analysis: the context contains just this file, so the
    interprocedural rules stay conservative about everything outside

@@ -1,6 +1,12 @@
 (* A single lint finding: position, the rule that fired, and a
    human-readable message. The textual form is the greppable
-   [file:line:col: rule: message] that editors and CI both parse. *)
+   [file:line:col: rule: message] that editors and CI both parse.
+
+   Interprocedural findings also carry a [flow]: the source-to-sink
+   (or entry-to-acquire) step sequence, rendered as SARIF codeFlows so
+   CI annotations show the whole path, not just the endpoint. *)
+
+type step = { sfile : string; sline : int; scol : int; swhat : string }
 
 type t = {
   file : string;
@@ -8,9 +14,10 @@ type t = {
   col : int;
   rule : string;
   message : string;
+  flow : step list;  (** empty for per-site findings *)
 }
 
-let make ~loc ~rule message =
+let make ?(flow = []) ~loc ~rule message =
   let p = loc.Ppxlib.Location.loc_start in
   {
     file = p.Lexing.pos_fname;
@@ -18,6 +25,7 @@ let make ~loc ~rule message =
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     rule;
     message;
+    flow;
   }
 
 let compare a b =

@@ -1,0 +1,281 @@
+(* resource-pairing: every acquire must be pairable with a live
+   release.
+
+   The accounting behind the million-connection figure: kernel memory
+   reserved at accept ([Host.mem_reserve]) must be released on every
+   close/error path, and the same discipline holds for the other
+   registration-shaped resources — readiness watchers, edge
+   observers, epoll and /dev/poll interest entries. PR 6 fixed a
+   dead-closure leak of exactly this shape by hand; this rule makes
+   the class un-reintroducible.
+
+   Obligation model (typestate at module granularity): a module that
+   performs an unsuppressed acquire must (a) also mention a matching
+   release, and (b) at least one of those release mentions must be
+   *live* — its containing definition referenced by some other
+   definition (or be a top-level effect). A release parked in a
+   function nothing calls is the PR 6 leak with extra steps, so it
+   does not discharge the obligation. The resource's defining module
+   is exempt — it implements both halves.
+
+   Findings attach to the acquire site and carry an interprocedural
+   flow (entry -> ... -> acquire) from the [Dataflow] engine, so the
+   SARIF codeFlow shows how the acquiring code is reached. *)
+
+module Df = Dataflow
+open Ppxlib
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+let id = "resource-pairing"
+
+let doc =
+  "an acquire (Host.mem_reserve, watcher/observer registration, epoll or /dev/poll \
+   interest add) must be paired with a live release mention in the same module"
+
+type pair = {
+  what : string;  (** human name of the resource *)
+  acquires : string list list;  (** qualified mention suffixes that acquire *)
+  releases : string list list;  (** qualified mention suffixes that release *)
+  owner : string;  (** defining module, exempt from the obligation *)
+}
+
+let pairs =
+  [
+    {
+      what = "modeled kernel memory";
+      acquires = [ [ "Host"; "mem_reserve" ] ];
+      releases = [ [ "Host"; "mem_release" ] ];
+      owner = "Host";
+    };
+    {
+      what = "readiness watcher";
+      acquires = [ [ "Socket"; "add_watcher" ] ];
+      releases = [ [ "Socket"; "remove_watcher" ] ];
+      owner = "Socket";
+    };
+    {
+      what = "edge observer";
+      acquires = [ [ "Socket"; "subscribe" ] ];
+      releases = [ [ "Socket"; "unsubscribe" ] ];
+      owner = "Socket";
+    };
+    {
+      what = "epoll interest";
+      acquires = [ [ "Epoll"; "ctl_add" ] ];
+      releases = [ [ "Epoll"; "ctl_del" ] ];
+      owner = "Epoll";
+    };
+    {
+      what = "/dev/poll interest entry";
+      acquires = [ [ "Interest_table"; "set" ]; [ "Interest_table"; "set_solaris" ] ];
+      releases = [ [ "Interest_table"; "remove" ] ];
+      owner = "Interest_table";
+    };
+  ]
+
+let dotted = String.concat "."
+let names specs = String.concat " / " (List.map dotted specs)
+
+(* Which pair (if any) a mentioned ident path acquires/releases.
+   Matching is the callgraph's suffix rule via
+   [Context.mention_matches]: qualified mentions only — a module's own
+   unqualified internals never match, which is what makes the owner
+   module's implementation invisible to its clients' obligations. *)
+let matching select p =
+  List.filter (fun pr -> Context.mention_matches (select pr) p) pairs
+
+(* Collect acquire sites (respecting [@lint.ignore]) and release
+   sites (suppression-blind: a suppressed release still releases). *)
+let scan str =
+  let acquires = ref [] in
+  let releases = ref [] in
+  let it =
+    object
+      inherit Rule.scoped_checker as _super
+
+      method enter_expression e =
+        match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            List.iter
+              (fun pr -> acquires := (pr, e.pexp_loc, Rule.path_of_lid txt) :: !acquires)
+              (matching (fun pr -> pr.acquires) (Rule.path_of_lid txt))
+        | _ -> ()
+    end
+  in
+  it#structure str;
+  let all = function
+    | { pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ } ->
+        List.iter
+          (fun pr -> releases := (pr, pexp_loc) :: !releases)
+          (matching (fun pr -> pr.releases) (Rule.path_of_lid txt))
+    | _ -> ()
+  in
+  let it_all =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        all e;
+        super#expression e
+    end
+  in
+  it_all#structure str;
+  (List.rev !acquires, List.rev !releases)
+
+(* In audit mode the acquire scan must see the stripped AST — which is
+   exactly the [str] the driver hands us — so no context rebuild is
+   needed: mentions, the call graph and liveness are unchanged by
+   stripping attributes. *)
+
+let step_of (loc : Location.t) what =
+  let p = loc.loc_start in
+  {
+    Finding.sfile = p.pos_fname;
+    sline = p.pos_lnum;
+    scol = p.pos_cnum - p.pos_bol;
+    swhat = what;
+  }
+
+(* uids referenced by some *other* definition: the liveness test for
+   the definition containing a release site. *)
+let referenced_uids graph =
+  List.fold_left
+    (fun acc (n : Callgraph.node) ->
+      List.fold_left
+        (fun acc c -> if String.equal c n.id then acc else SSet.add c acc)
+        acc n.callees)
+    SSet.empty graph.Callgraph.nodes
+
+let pos_in (loc : Location.t) (line, col) =
+  let s = loc.loc_start and e = loc.loc_end in
+  (line, col) >= (s.pos_lnum, s.pos_cnum - s.pos_bol)
+  && (line, col) <= (e.pos_lnum, e.pos_cnum - e.pos_bol)
+
+(* The innermost indexed definition whose span contains the position. *)
+let containing_symbol syms (line, col) =
+  List.fold_left
+    (fun best (s : Symbol_index.symbol) ->
+      if not (pos_in s.loc (line, col)) then best
+      else
+        match best with
+        | Some (b : Symbol_index.symbol) when pos_in s.loc (b.line, b.col) -> best
+        | _ -> Some s)
+    None syms
+
+let is_toplevel_effect (s : Symbol_index.symbol) =
+  match List.rev s.qname with
+  | name :: _ ->
+      String.length name >= 10 && String.equal (String.sub name 0 10) "(toplevel:"
+  | [] -> false
+
+(* Entry -> ... -> acquire flow for the SARIF codeFlow: seed the
+   acquire fact at the definitions of this file that mention an
+   acquire of the pair, propagate caller-ward, and keep the longest
+   provenance (the most entry-ward chain). Deterministic: the table
+   is swept in sorted uid order. *)
+let acquire_flow ctx ~path (pr : pair) =
+  let index = ctx.Context.index in
+  let graph = Context.graph ctx in
+  let fact = "acquire" in
+  let seeds uid =
+    match Callgraph.find graph uid with
+    | Some n when String.equal n.Callgraph.file path -> (
+        match
+          List.find_opt
+            (fun (s : Symbol_index.symbol) -> String.equal s.uid uid)
+            (Symbol_index.file_symbols index path)
+        with
+        | None -> []
+        | Some s ->
+            List.filter_map
+              (fun (p, line, col) ->
+                if matching (fun pr' -> pr'.acquires) p |> List.exists (fun x -> x == pr)
+                then
+                  Some
+                    ( fact,
+                      [
+                        {
+                          Finding.sfile = s.file;
+                          sline = line;
+                          scol = col;
+                          swhat = "acquire: " ^ dotted p;
+                        };
+                      ] )
+                else None)
+              s.mention_sites)
+    | _ -> []
+  in
+  let order = List.map (fun (s : Symbol_index.symbol) -> s.uid) index.Symbol_index.symbols in
+  let call_step = Df.call_step_of_index index in
+  let table = Df.solve ~order ~callees:(Callgraph.callees graph) ~call_step ~seeds in
+  SMap.fold
+    (fun _uid facts best ->
+      match SMap.find_opt fact facts with
+      | None -> best
+      | Some p -> (
+          match best with
+          | Some b when List.length b >= List.length p -> best
+          | _ -> Some p))
+    table None
+  |> Option.value ~default:[]
+
+let check ~ctx ~path str =
+  let m = Symbol_index.module_of_file path in
+  let acquires, releases = scan str in
+  if acquires = [] then []
+  else begin
+    let graph = Context.graph ctx in
+    let referenced = lazy (referenced_uids graph) in
+    let syms = Symbol_index.file_symbols ctx.Context.index path in
+    acquires
+    |> List.filter (fun ((pr : pair), _, _) -> not (String.equal pr.owner m))
+    |> List.filter_map (fun ((pr : pair), loc, p) ->
+           let rel = List.filter (fun ((pr' : pair), _) -> pr' == pr) releases in
+           let live_release ((_ : pair), (rloc : Location.t)) =
+             let pos = (rloc.loc_start.pos_lnum, rloc.loc_start.pos_cnum - rloc.loc_start.pos_bol) in
+             match containing_symbol syms pos with
+             | None -> true (* outside any indexed definition: assume live *)
+             | Some s -> is_toplevel_effect s || SSet.mem s.uid (Lazy.force referenced)
+           in
+           let finding msg =
+             let flow =
+               match acquire_flow ctx ~path pr with
+               | [] -> [ step_of loc ("acquire: " ^ dotted p) ]
+               | steps -> steps
+             in
+             Some
+               (Finding.make ~flow ~loc ~rule:id
+                  (msg ^ Printf.sprintf " reached via: %s" (Df.path_to_string flow)))
+           in
+           if rel = [] then
+             finding
+               (Printf.sprintf
+                  "%s acquires %s here but module %s never mentions a matching release \
+                   (%s); release on every close/error path, or annotate the acquire \
+                   with [@lint.ignore \"reason\"] if the resource is \
+                   instance-lifetime."
+                  (dotted p) pr.what m (names pr.releases))
+           else if not (List.exists live_release rel) then begin
+             let dead_homes =
+               rel
+               |> List.filter_map (fun (_, (rloc : Location.t)) ->
+                      containing_symbol syms
+                        ( rloc.loc_start.pos_lnum,
+                          rloc.loc_start.pos_cnum - rloc.loc_start.pos_bol )
+                      |> Option.map (fun (s : Symbol_index.symbol) ->
+                             String.concat "." s.qname))
+               |> List.sort_uniq String.compare
+             in
+             finding
+               (Printf.sprintf
+                  "%s acquires %s here and module %s mentions a release (%s), but only \
+                   inside dead code (%s is referenced by nothing), so no path ever \
+                   releases; call the release from the close/error paths."
+                  (dotted p) pr.what m (names pr.releases)
+                  (String.concat ", " dead_homes))
+           end
+           else None)
+  end
+
+let rule = { Rule.id; doc; check }

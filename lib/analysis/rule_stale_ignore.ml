@@ -43,6 +43,7 @@ let make ~others =
                line = s.line;
                col = s.col;
                rule = id;
+               flow = [];
                message =
                  Printf.sprintf
                    "stale suppression %s: removing it produces no findings, so the \

@@ -16,21 +16,51 @@ let rule_json (id, doc) =
   Printf.sprintf {|        { "id": "%s", "shortDescription": { "text": "%s" } }|} (esc id)
     (esc doc)
 
+(* Interprocedural findings ship their provenance as a codeFlow: one
+   threadFlow whose locations replay the path consumer-to-origin, so
+   code-scanning UIs render the whole chain, not just the endpoint. *)
+let flow_json (flow : Finding.step list) =
+  let step_json (s : Finding.step) =
+    String.concat "\n"
+      [
+        "                { \"location\": {";
+        Printf.sprintf {|                    "message": { "text": "%s" },|} (esc s.swhat);
+        {|                    "physicalLocation": {|};
+        Printf.sprintf {|                      "artifactLocation": { "uri": "%s" },|}
+          (esc s.sfile);
+        Printf.sprintf
+          {|                      "region": { "startLine": %d, "startColumn": %d } } } }|}
+          s.sline (s.scol + 1);
+      ]
+  in
+  [
+    {|          "codeFlows": [|};
+    {|            { "threadFlows": [|};
+    {|              { "locations": [|};
+    String.concat ",\n" (List.map step_json flow);
+    {|              ] }|};
+    {|            ] }|};
+    {|          ],|};
+  ]
+
 let result_json (f : Finding.t) =
   String.concat "\n"
-    [
-      "        {";
-      Printf.sprintf {|          "ruleId": "%s",|} (esc f.rule);
-      {|          "level": "error",|};
-      Printf.sprintf {|          "message": { "text": "%s" },|} (esc f.message);
-      {|          "locations": [|};
-      {|            { "physicalLocation": {|};
-      Printf.sprintf {|                "artifactLocation": { "uri": "%s" },|} (esc f.file);
-      Printf.sprintf {|                "region": { "startLine": %d, "startColumn": %d } } }|}
-        f.line (f.col + 1);
-      {|          ]|};
-      "        }";
-    ]
+    ([
+       "        {";
+       Printf.sprintf {|          "ruleId": "%s",|} (esc f.rule);
+       {|          "level": "error",|};
+       Printf.sprintf {|          "message": { "text": "%s" },|} (esc f.message);
+     ]
+    @ (match f.flow with [] -> [] | flow -> flow_json flow)
+    @ [
+        {|          "locations": [|};
+        {|            { "physicalLocation": {|};
+        Printf.sprintf {|                "artifactLocation": { "uri": "%s" },|} (esc f.file);
+        Printf.sprintf {|                "region": { "startLine": %d, "startColumn": %d } } }|}
+          f.line (f.col + 1);
+        {|          ]|};
+        "        }";
+      ])
 
 let render ~rules findings =
   let rule_docs =

@@ -40,7 +40,11 @@ type symbol = {
   line : int;
   col : int;
   loc : Location.t;
+  body : expression;  (** the right-hand side, for abstract interpretation *)
   mentions : string list list;  (** every ident path in the body *)
+  mention_sites : (string list * int * int) list;
+      (** every ident path with its (line, col), body order — lets the
+          dataflow engine attribute a call step to a source position *)
   app_heads : string list list;  (** ident paths in application-head position *)
   has_opaque_call : bool;  (** an application whose head is not an ident *)
   writes : write list;
@@ -117,6 +121,7 @@ let write_op p =
 
 let scan_body e =
   let mentions = ref [] in
+  let sites = ref [] in
   let heads = ref [] in
   let opaque = ref false in
   let writes = ref [] in
@@ -139,7 +144,12 @@ let scan_body e =
       method! expression e =
         (match e.pexp_desc with
         | Pexp_ident { txt; _ } -> (
-            match path_of_lid txt with [] -> () | p -> mentions := p :: !mentions)
+            match path_of_lid txt with
+            | [] -> ()
+            | p ->
+                mentions := p :: !mentions;
+                let pos = e.pexp_loc.loc_start in
+                sites := (p, pos.pos_lnum, pos.pos_cnum - pos.pos_bol) :: !sites)
         | Pexp_apply (fn, args) -> (
             match fn.pexp_desc with
             | Pexp_ident { txt; _ } -> (
@@ -169,7 +179,7 @@ let scan_body e =
     end
   in
   it#expression e;
-  (List.rev !mentions, List.rev !heads, !opaque, List.rev !writes)
+  (List.rev !mentions, List.rev !sites, List.rev !heads, !opaque, List.rev !writes)
 
 let rec var_name p =
   match p.ppat_desc with
@@ -188,7 +198,9 @@ let build files =
       | Some n -> n
       | None -> Printf.sprintf "(toplevel:%d)" pos.pos_lnum
     in
-    let mentions, app_heads, has_opaque_call, writes = scan_body vb.pvb_expr in
+    let mentions, mention_sites, app_heads, has_opaque_call, writes =
+      scan_body vb.pvb_expr
+    in
     let qname = modpath @ [ name ] in
     acc :=
       {
@@ -198,7 +210,9 @@ let build files =
         line = pos.pos_lnum;
         col = pos.pos_cnum - pos.pos_bol;
         loc;
+        body = vb.pvb_expr;
         mentions;
+        mention_sites;
         app_heads;
         has_opaque_call;
         writes;
@@ -210,7 +224,7 @@ let build files =
   let add_eval ~file ~modpath e loc =
     let pos = loc.Location.loc_start in
     let name = Printf.sprintf "(toplevel:%d)" pos.pos_lnum in
-    let mentions, app_heads, has_opaque_call, writes = scan_body e in
+    let mentions, mention_sites, app_heads, has_opaque_call, writes = scan_body e in
     let qname = modpath @ [ name ] in
     acc :=
       {
@@ -220,7 +234,9 @@ let build files =
         line = pos.pos_lnum;
         col = pos.pos_cnum - pos.pos_bol;
         loc;
+        body = e;
         mentions;
+        mention_sites;
         app_heads;
         has_opaque_call;
         writes;
@@ -278,29 +294,56 @@ let build files =
 let file_symbols t file =
   match SMap.find_opt file t.by_file with Some l -> l | None -> []
 
-(* Resolve an ident path mentioned inside [current_module]. An
-   unqualified [f] resolves only within its own file-module (a name
-   shadowed locally never leaks to another module's definition); a
-   qualified [A.B.f] matches any indexed definition whose qualified
-   name is a suffix of the reference ([Sio_sim.Domain_pool.map] finds
-   [Domain_pool.map]). Ambiguity — two files defining the same module
-   name — resolves to every candidate: the callgraph stays conservative
-   rather than guessing. *)
-let resolve t ~current_module p =
+(* Resolve an ident path mentioned inside [scope] — the module path of
+   the mentioning definition ([Poll] for a top-level binding in
+   poll.ml, [Poll; Pset] inside its nested module). An unqualified [f]
+   resolves lexically: the innermost enclosing module that defines the
+   name wins, and the search never leaves the file-module (a name
+   shadowed locally never leaks to another module's definition). A
+   qualified [A.B.f] matches through every enclosing scope plus any
+   indexed definition whose qualified name is a suffix of the
+   reference ([Sio_sim.Domain_pool.map] finds [Domain_pool.map]).
+   Ambiguity — two files defining the same module name — resolves to
+   every candidate: the callgraph stays conservative rather than
+   guessing. *)
+let resolve_in t ~scope p =
   if p = [] then []
   else begin
-    let rec suffixes q =
-      if List.length q >= 2 then String.concat "." q :: suffixes (List.tl q) else []
+    (* Enclosing module paths, innermost first, stopping at the
+       file-module: [Poll; Pset] -> [[Poll; Pset]; [Poll]]. *)
+    let rec enclosing s =
+      match s with
+      | [] | [ _ ] -> [ s ]
+      | _ -> s :: enclosing (List.filteri (fun i _ -> i < List.length s - 1) s)
     in
-    let keys = String.concat "." (current_module :: p) :: suffixes p in
-    let seen = ref SMap.empty in
-    List.concat_map
-      (fun k -> match SMap.find_opt k t.by_qname with Some l -> l | None -> [])
-      keys
-    |> List.filter (fun s ->
-           if SMap.mem s.uid !seen then false
-           else begin
-             seen := SMap.add s.uid () !seen;
-             true
-           end)
+    let scopes = enclosing scope in
+    match p with
+    | [ _ ] ->
+        List.find_map
+          (fun s ->
+            match SMap.find_opt (String.concat "." (s @ p)) t.by_qname with
+            | Some (_ :: _ as l) -> Some l
+            | _ -> None)
+          scopes
+        |> Option.value ~default:[]
+    | _ ->
+        let rec suffixes q =
+          if List.length q >= 2 then String.concat "." q :: suffixes (List.tl q) else []
+        in
+        let keys = List.map (fun s -> String.concat "." (s @ p)) scopes @ suffixes p in
+        let seen = ref SMap.empty in
+        List.concat_map
+          (fun k -> match SMap.find_opt k t.by_qname with Some l -> l | None -> [])
+          keys
+        |> List.filter (fun s ->
+               if SMap.mem s.uid !seen then false
+               else begin
+                 seen := SMap.add s.uid () !seen;
+                 true
+               end)
   end
+
+let scope_of (s : symbol) =
+  match List.rev s.qname with _ :: rev_mods -> List.rev rev_mods | [] -> []
+
+let resolve t ~current_module p = resolve_in t ~scope:[ current_module ] p

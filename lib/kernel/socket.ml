@@ -445,7 +445,12 @@ let accept_queue_length t =
 
 (* Kernel-memory accounting (modeled): accept() reserves the fixed
    socket struct plus both buffer capacities; close/discard release
-   it. The charged flag makes release idempotent. *)
+   it. The charged flag makes release idempotent. The resource-pairing
+   lint rule holds every [Host.mem_reserve] caller outside Host to the
+   matching [Host.mem_release]: this module satisfies the obligation
+   because both [close] and [discard] funnel through
+   [release_kernel_memory], and those release sites must stay live —
+   a release reachable only from dead code does not discharge it. *)
 let reserve_kernel_memory t =
   if not (live t) then false
   else begin

@@ -84,7 +84,11 @@ let connect ~net ~listener ?(extra_latency = Time.zero) ~handlers () =
                        if conn.client_open then begin
                          conn.client_open <- false;
                          handlers.on_reset conn
-                       end)));
+                       end))
+            [@lint.ignore
+              "socket-lifetime subscription: Socket.close reclaims every observer \
+               registration with the connection's arena slot, so no per-subscription \
+               unsubscribe exists"]);
           if Socket.enqueue_accept listener sock then begin
             conn.server_sock <- Some sock;
             Network.send_to_client net ~extra_latency ~bytes_len:segment_overhead

@@ -1,10 +1,26 @@
 (* Host-process RSS, for the memory columns of the extended
    idle-scaling figure. Reads /proc/self/statm (resident pages); the
-   value is a property of the measuring host, not of the simulation,
-   so it must never feed a CSV fingerprint or any determinism check —
-   JSON report fields only. *)
+   value is a property of the measuring host, not of the simulation.
+   The nondet-taint lint rule treats both [rss_bytes] and the procfs
+   read as taint sources and rejects any resolved call path from here
+   into a byte-identity sink ([Report.csv_of_*], the bench-smoke
+   fingerprint), so host memory can only ever surface in JSON report
+   fields. *)
 
-let page_size = 4096
+(* The statm unit is pages, whose size is a host property too: ask the
+   host ([getconf PAGESIZE]) once, and fall back to 4096 when there is
+   no getconf to ask. The probe is lazy so simulations that never
+   report RSS never fork. *)
+let page_size =
+  lazy
+    (match Unix.open_process_in "getconf PAGESIZE 2>/dev/null" with
+    | exception _ -> 4096
+    | ic -> (
+        let line = try input_line ic with End_of_file | Sys_error _ -> "" in
+        match (Unix.close_process_in ic, int_of_string_opt (String.trim line)) with
+        | Unix.WEXITED 0, Some n when n > 0 -> n
+        | _ -> 4096
+        | exception _ -> 4096))
 
 let rss_bytes () =
   match open_in "/proc/self/statm" with
@@ -20,4 +36,4 @@ let rss_bytes () =
             | _ -> 0)
       in
       close_in ic;
-      resident * page_size
+      resident * Lazy.force page_size

@@ -2,8 +2,10 @@
 
     Nondeterministic by nature (GC timing, allocator behavior): report
     it in JSON next to the modeled kernel bytes, never in CSV output
-    or anything compared for byte identity. *)
+    or anything compared for byte identity. The nondet-taint lint rule
+    enforces exactly that — [rss_bytes] is one of its sources. *)
 
 val rss_bytes : unit -> int
-(** Current RSS in bytes, from [/proc/self/statm]. Returns 0 on hosts
-    without procfs. *)
+(** Current RSS in bytes, from [/proc/self/statm] scaled by the host's
+    page size ([getconf PAGESIZE], falling back to 4096). Returns 0 on
+    hosts without procfs. *)

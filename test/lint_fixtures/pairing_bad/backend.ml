@@ -1,0 +1,5 @@
+(* Dead release: a matching release exists but nothing references its
+   home, so it can never run. *)
+let watch s = ignore (Socket.add_watcher s)
+let unused_teardown s = Socket.remove_watcher s
+let () = ignore (watch ())

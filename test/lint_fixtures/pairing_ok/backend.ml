@@ -1,0 +1,7 @@
+let watch s = ignore (Socket.add_watcher s)
+let unwatch s = Socket.remove_watcher s
+
+let () =
+  let s = () in
+  watch s;
+  unwatch s

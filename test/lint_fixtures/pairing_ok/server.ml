@@ -1,0 +1,8 @@
+(* Paired and live: the release shares the file with the acquire and
+   is reachable from a toplevel effect. *)
+let admit host = Host.mem_reserve host 4096
+let evict host = Host.mem_release host 4096
+
+let () =
+  let host = () in
+  if admit host then evict host

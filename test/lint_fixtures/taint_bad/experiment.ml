@@ -1,0 +1,5 @@
+(* Carrier: the tainted measurement is stored in a record field, so
+   the taint must survive a construction/projection round trip. *)
+type outcome = { rate : int; rss : int }
+
+let run rate = { rate; rss = Host_mem.rss_bytes () }

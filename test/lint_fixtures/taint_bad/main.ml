@@ -1,0 +1,4 @@
+(* Direct-argument violation: a host measurement handed straight to
+   the sink as data. *)
+let tag () = Host_mem.rss_bytes ()
+let () = print_string (Report.csv_of_series [ Experiment.run (tag ()) ])

@@ -1,0 +1,6 @@
+(* Sink module: [csv_of_series] is a byte-identity sink, and its call
+   region reaches the tainted [rss] field through [row]. *)
+let row (o : Experiment.outcome) =
+  string_of_int o.Experiment.rate ^ "," ^ string_of_int o.Experiment.rss
+
+let csv_of_series outcomes = String.concat "\n" (List.map row outcomes)

@@ -1,0 +1,5 @@
+(* The sanctioned shape: host measurements live in their own record
+   field and only ever reach the JSON report, never the CSV. *)
+type outcome = { rate : int; host_rss : int }
+
+let run rate = { rate; host_rss = Host_mem.rss_bytes () }

@@ -1,0 +1,4 @@
+let () =
+  let o = Experiment.run 100 in
+  print_string (Report.csv_of_series [ o ]);
+  print_string (Report.json_of o)

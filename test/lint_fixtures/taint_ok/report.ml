@@ -1,0 +1,13 @@
+(* CSV carries only modeled quantities; the host measurement goes to
+   the JSON side channel. A sorted Hashtbl enumeration is fine in the
+   CSV path: the sort canonicalizes the order away. *)
+let row (o : Experiment.outcome) = string_of_int o.Experiment.rate
+let csv_of_series outcomes = String.concat "\n" (List.map row outcomes)
+
+let csv_of_table t =
+  let rates = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t []) in
+  String.concat "\n" (List.map string_of_int rates)
+
+let json_of (o : Experiment.outcome) =
+  Printf.sprintf {|{"rate":%d,"host_rss_bytes":%d}|} o.Experiment.rate
+    o.Experiment.host_rss

@@ -30,6 +30,8 @@ let test_rule_registry () =
       "module-state";
       "syscall-cost";
       "arena-slot";
+      "nondet-taint";
+      "resource-pairing";
       "stale-ignore";
     ]
     (List.map (fun r -> r.Rule.id) Driver.all_rules);
@@ -249,6 +251,115 @@ let prop_reachability_monotone =
       let r2 = Reachability.reachable ~edges:(List.map lbl (e1 @ e2)) ~roots in
       List.for_all (fun n -> List.mem n r2) r1)
 
+(* --- dataflow ------------------------------------------------------ *)
+
+let prop_dataflow_monotone =
+  (* The engine's safety argument in one property: adding call edges
+     can only grow the set of (node, fact) conclusions — provenance
+     may change (first path wins), fact membership never shrinks. The
+     generator produces arbitrary small digraphs including cycles, so
+     every run also witnesses termination of the fixpoint. *)
+  let lbl (a, b) = (string_of_int a, string_of_int b) in
+  QCheck.Test.make ~name:"dataflow propagation is monotone in the edge set" ~count:200
+    QCheck.(
+      triple
+        (small_list (pair (int_bound 7) (int_bound 7)))
+        (small_list (pair (int_bound 7) (int_bound 7)))
+        (small_list (pair (int_bound 7) (int_bound 3))))
+    (fun (e1, e2, seeds) ->
+      let seeds = List.map (fun (n, f) -> (string_of_int n, "fact" ^ string_of_int f)) seeds in
+      let r1 = Dataflow.propagate ~edges:(List.map lbl e1) ~seeds in
+      let r2 = Dataflow.propagate ~edges:(List.map lbl (e1 @ e2)) ~seeds in
+      List.for_all (fun nf -> List.mem nf r2) r1)
+
+let prop_dataflow_matches_reachability =
+  (* Facts flow callee-to-caller, so a fact seeded at [n] holds exactly
+     at the nodes that reach [n] — i.e. reachability over reversed
+     edges. Pins the engine to the already-trusted fixpoint. *)
+  let lbl (a, b) = (string_of_int a, string_of_int b) in
+  QCheck.Test.make ~name:"dataflow agrees with reachability on reversed edges" ~count:200
+    QCheck.(small_list (pair (int_bound 7) (int_bound 7)))
+    (fun e ->
+      let edges = List.map lbl e in
+      let holds =
+        Dataflow.propagate ~edges ~seeds:[ ("0", "f") ]
+        |> List.map fst |> List.sort_uniq String.compare
+      in
+      let reach =
+        Reachability.reachable
+          ~edges:(List.map (fun (a, b) -> (b, a)) edges)
+          ~roots:[ "0" ]
+        |> List.sort_uniq String.compare
+      in
+      holds = reach)
+
+(* --- nondet-taint -------------------------------------------------- *)
+
+let test_taint_bad () =
+  Alcotest.(check (list string))
+    "taint_bad findings"
+    [
+      "lint_fixtures/taint_bad/main.ml:4:23: nondet-taint: host RSS measurement \
+       (Host_mem.rss_bytes) flows into byte-identity sink Report.csv_of_series as an \
+       argument, so the output is no longer a pure function of the seed; keep host \
+       measurements in JSON report fields (or sort the enumeration) instead. flow: \
+       argument of Report.csv_of_series -> Main.tag -> Host_mem.rss_bytes \
+       (lint_fixtures/taint_bad/main.ml:3)";
+      "lint_fixtures/taint_bad/report.ml:6:0: nondet-taint: byte-identity sink \
+       Report.csv_of_series transitively performs a host RSS measurement \
+       (Host_mem.rss_bytes) along resolved calls, so its output depends on the host; \
+       move the measurement out of the sink's call region (JSON report fields are the \
+       sanctioned home). flow: Report.csv_of_series -> Report.row -> read of tainted \
+       field rss -> stored in field rss -> Host_mem.rss_bytes \
+       (lint_fixtures/taint_bad/experiment.ml:5)";
+    ]
+    (render_paths [ "taint_bad" ])
+
+let test_taint_flow_is_interprocedural () =
+  (* The SARIF contract: the sink-region finding's flow must walk the
+     resolved call chain across files, sink end first, source origin
+     last. *)
+  let fs = Driver.analyze_paths [ fx "taint_bad" ] in
+  match
+    List.find_opt (fun f -> f.Finding.file = fx "taint_bad/report.ml") fs
+  with
+  | None -> Alcotest.fail "no sink-region finding in report.ml"
+  | Some f ->
+      let steps = f.Finding.flow in
+      Alcotest.(check bool) "at least four steps" true (List.length steps >= 4);
+      let files = List.sort_uniq compare (List.map (fun s -> s.Finding.sfile) steps) in
+      Alcotest.(check bool) "flow spans more than one file" true (List.length files > 1);
+      (match steps with
+      | first :: _ ->
+          Alcotest.(check string) "sink end first" "Report.csv_of_series" first.Finding.swhat
+      | [] -> Alcotest.fail "empty flow");
+      (match List.rev steps with
+      | origin :: _ ->
+          Alcotest.(check string) "source origin last" "Host_mem.rss_bytes"
+            origin.Finding.swhat
+      | [] -> ())
+
+(* --- resource-pairing ---------------------------------------------- *)
+
+let test_pairing_bad () =
+  Alcotest.(check (list string))
+    "pairing_bad findings"
+    [
+      "lint_fixtures/pairing_bad/backend.ml:3:22: resource-pairing: Socket.add_watcher \
+       acquires readiness watcher here and module Backend mentions a release \
+       (Socket.remove_watcher), but only inside dead code (Backend.unused_teardown is \
+       referenced by nothing), so no path ever releases; call the release from the \
+       close/error paths. reached via: Backend.watch -> acquire: Socket.add_watcher \
+       (lint_fixtures/pairing_bad/backend.ml:3)";
+      "lint_fixtures/pairing_bad/server.ml:3:17: resource-pairing: Host.mem_reserve \
+       acquires modeled kernel memory here but module Server never mentions a matching \
+       release (Host.mem_release); release on every close/error path, or annotate the \
+       acquire with [@lint.ignore \"reason\"] if the resource is instance-lifetime. \
+       reached via: Server.accept_one -> Server.admit -> acquire: Host.mem_reserve \
+       (lint_fixtures/pairing_bad/server.ml:3)";
+    ]
+    (render_paths [ "pairing_bad" ])
+
 (* --- driver: overlapping roots, ordering, parse errors ------------- *)
 
 let test_overlapping_roots () =
@@ -286,7 +397,14 @@ let test_parse_error () =
 
 let test_json () =
   let f =
-    { Finding.file = "a \"b\".ml"; line = 3; col = 7; rule = "nondet-clock"; message = "x\ny" }
+    {
+      Finding.file = "a \"b\".ml";
+      line = 3;
+      col = 7;
+      rule = "nondet-clock";
+      message = "x\ny";
+      flow = [];
+    }
   in
   Alcotest.(check string)
     "json escaping"
@@ -306,7 +424,14 @@ let test_paths_sorted () =
 
 let test_sarif_result () =
   let f =
-    { Finding.file = "lib/a.ml"; line = 2; col = 4; rule = "nondet-clock"; message = "x \"y\"" }
+    {
+      Finding.file = "lib/a.ml";
+      line = 2;
+      col = 4;
+      rule = "nondet-clock";
+      message = "x \"y\"";
+      flow = [];
+    }
   in
   let out = Sarif.render ~rules:Driver.all_rules [ f ] in
   List.iter
@@ -325,6 +450,54 @@ let test_sarif_result () =
       (* SARIF regions are 1-based; findings carry 0-based columns. *)
       {|"region": { "startLine": 2, "startColumn": 5 }|};
     ]
+
+let test_sarif_code_flows () =
+  (* A finding that carries provenance must render it as SARIF
+     codeFlows: one threadFlow whose locations replay the steps in
+     order, with 1-based regions. *)
+  let f =
+    {
+      Finding.file = "lib/a.ml";
+      line = 9;
+      col = 2;
+      rule = "nondet-taint";
+      message = "m";
+      flow =
+        [
+          { Finding.sfile = "lib/a.ml"; sline = 9; scol = 2; swhat = "A.sink" };
+          { Finding.sfile = "lib/b.ml"; sline = 4; scol = 0; swhat = "B.origin" };
+        ];
+    }
+  in
+  let out = Sarif.render ~rules:Driver.all_rules [ f ] in
+  let contains needle =
+    let rec mem i =
+      i + String.length needle <= String.length out
+      && (String.equal (String.sub out i (String.length needle)) needle || mem (i + 1))
+    in
+    mem 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "sarif contains %S" needle) true
+        (contains needle))
+    [
+      {|"codeFlows": [|};
+      {|"threadFlows": [|};
+      {|"message": { "text": "A.sink" },|};
+      {|"message": { "text": "B.origin" },|};
+      {|"artifactLocation": { "uri": "lib/b.ml" },|};
+      {|"region": { "startLine": 4, "startColumn": 1 }|};
+    ];
+  (* And a flowless finding must not grow an empty codeFlows array. *)
+  let plain = Sarif.render ~rules:Driver.all_rules [ { f with flow = [] } ] in
+  Alcotest.(check bool) "no codeFlows without provenance" false
+    (let needle = "codeFlows" in
+     let rec mem i =
+       i + String.length needle <= String.length plain
+       && (String.equal (String.sub plain i (String.length needle)) needle || mem (i + 1))
+     in
+     mem 0)
 
 let test_sarif_clean_fixture () =
   (* The committed fixture is the SARIF output of a clean run over the
@@ -371,6 +544,17 @@ let suite =
     Alcotest.test_case "callgraph: unknown heads stay conservative" `Quick
       test_callgraph_conservative;
     QCheck_alcotest.to_alcotest prop_reachability_monotone;
+    QCheck_alcotest.to_alcotest prop_dataflow_monotone;
+    QCheck_alcotest.to_alcotest prop_dataflow_matches_reachability;
+    Alcotest.test_case "nondet-taint: violations with flows" `Quick test_taint_bad;
+    Alcotest.test_case "nondet-taint: flow is interprocedural" `Quick
+      test_taint_flow_is_interprocedural;
+    Alcotest.test_case "nondet-taint: conforming" `Quick
+      (check_clean_paths "taint_ok" [ "taint_ok" ]);
+    Alcotest.test_case "resource-pairing: violations with flows" `Quick test_pairing_bad;
+    Alcotest.test_case "resource-pairing: conforming" `Quick
+      (check_clean_paths "pairing_ok" [ "pairing_ok" ]);
+    Alcotest.test_case "sarif code flows" `Quick test_sarif_code_flows;
     Alcotest.test_case "overlapping roots analyzed once" `Quick test_overlapping_roots;
     Alcotest.test_case "--rule filtering" `Quick test_rule_filter;
     Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
