@@ -139,7 +139,7 @@ let sendfile ppf ~scale =
   Fmt.pf ppf "(the paper's Section 6 suggests pairing sendfile with the new event models)@.";
   let base = operating_point ~kind:devpoll ~inactive:1 ~rate:1100 ~scale in
   let plain = Experiment.run base in
-  let zero_copy = Experiment.run { base with Experiment.use_sendfile = true } in
+  let zero_copy = Experiment.run { base with Experiment.transmit = Sio_httpd.Conn.Sendfile } in
   pp_outcome ppf ("write()", plain);
   pp_outcome ppf ("sendfile()", zero_copy);
   Fmt.pf ppf "@."

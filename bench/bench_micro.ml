@@ -245,6 +245,37 @@ let arena_tests =
       arena_churn;
     ]
 
+(* The zero-copy data plane's host-side footprint: reserve-and-drain a
+   64 KB send through the plain buffer counter versus through the
+   transmit ring's page accounting. Both paths are pure counter
+   arithmetic over the arena columns (and, for the ring, the monotone
+   mapped/drained positions), so both must stay allocation-free —
+   the gated column. The ring variant buys its simulated-cost win
+   with a little extra host arithmetic, which is fine; what may not
+   regress is a heap block sneaking into the per-send path. *)
+let send_copy_64k =
+  Test.make ~name:"send 64KB (copy)"
+    (let engine = Engine.create () in
+     let host = Host.create ~engine ~costs:Cost_model.zero () in
+     let s = Socket.create_established ~host in
+     Staged.stage (fun () ->
+         let n = Socket.write_reserve s 65536 in
+         Socket.release_send_space s n))
+
+let send_ring_64k =
+  Test.make ~name:"send 64KB (ring)"
+    (let engine = Engine.create () in
+     let host = Host.create ~engine ~costs:Cost_model.zero () in
+     let s = Socket.create_established ~host in
+     assert (Socket.ring_attach s ~slot_bytes:4096);
+     Staged.stage (fun () ->
+         match Socket.ring_reserve s 65536 ~copy_bytes:0 with
+         | Some (n, _pages) -> Socket.release_send_space s n
+         | None -> assert false))
+
+let data_plane_tests =
+  Test.make_grouped ~name:"data-plane" [ send_copy_64k; send_ring_64k ]
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -261,6 +292,7 @@ let tests =
       fd_map_tests;
       ready_set_tests;
       arena_tests;
+      data_plane_tests;
     ]
 
 (* Machine-readable mirror of the printed table, for commit alongside

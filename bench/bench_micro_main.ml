@@ -55,9 +55,11 @@ let tolerance = 3.0
 (* Allocation gate: minor words per op are near-deterministic (no
    machine-load noise), so the tolerance is tight. Applied only to the
    groups whose whole point is their allocation profile — the arena
-   (connection state must stay a thin handle) and the fd-map (ordered
-   iteration must not re-grow snapshot allocations). The small
-   absolute slack absorbs GC sampling jitter on near-zero rows. *)
+   (connection state must stay a thin handle), the fd-map (ordered
+   iteration must not re-grow snapshot allocations), and the
+   data-plane (per-send ring accounting must stay heap-free). The
+   small absolute slack absorbs GC sampling jitter on near-zero
+   rows. *)
 let alloc_tolerance = 1.5
 let alloc_slack_words = 16.0
 
@@ -68,6 +70,7 @@ let alloc_gated name =
     go 0
   in
   contains_sub name "arena/" || contains_sub name "fd-map/"
+  || contains_sub name "data-plane/"
 
 let check committed_path =
   if not (Sys.file_exists committed_path) then begin

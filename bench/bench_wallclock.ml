@@ -43,10 +43,11 @@ let resolve id =
    leg goes through the memory-aware CSV so the modeled kernel-bytes
    column is held to byte identity too (host RSS deliberately isn't —
    it never appears in CSV). *)
-let fingerprint (fig_series, idle_series) =
+let fingerprint (fig_series, idle_series, rs_series) =
   String.concat "\n"
     (List.map Sio_loadgen.Report.csv_of_series (List.concat fig_series)
-    @ List.map Sio_loadgen.Report.csv_of_idle_series idle_series)
+    @ List.map Sio_loadgen.Report.csv_of_idle_series idle_series
+    @ List.map Sio_loadgen.Report.csv_of_response_size_series rs_series)
 
 (* Measuring host wall time is the entire point of this bench; it
    never feeds back into the simulation (only the CSV fingerprint,
@@ -60,18 +61,28 @@ let timed f =
    ready sets are part of the byte-identity fingerprint too. *)
 let idle_smoke = [ 1; 51 ]
 
+(* Likewise a tiny response-size leg: the streaming send machine, the
+   transmit ring's page accounting, and the per-page cost charging all
+   feed the fingerprint (16 KB exercises multi-page maps; 1 KB the
+   partial-page and attach-fallback economics). *)
+let response_size_smoke = [ 1024; 16384 ]
+
 let () =
   let scale, jobs, out, figure_ids = parse_args () in
   let figures = List.map resolve figure_ids in
   let points =
     List.fold_left (fun n f -> n + List.length f.Scalanio.Figures.rates) 0 figures
     + List.length idle_smoke
+    + (List.length response_size_smoke
+      * List.length Scalanio.Figures.response_size.Scalanio.Figures.rs_series)
   in
   let run pool =
     ( List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures,
-      Scalanio.Figures.run_idle_scaling ?pool ~idles:idle_smoke ~rate:300 () )
+      Scalanio.Figures.run_idle_scaling ?pool ~idles:idle_smoke ~rate:300 (),
+      Scalanio.Figures.run_response_size ?pool ~sizes:response_size_smoke ~scale () )
   in
-  Fmt.epr "bench_wallclock: %s+idle-scaling, %d points/figure-set, scale %.2f@."
+  Fmt.epr
+    "bench_wallclock: %s+idle-scaling+response-size, %d points/figure-set, scale %.2f@."
     (String.concat "+" figure_ids) points scale;
   let seq, seq_s = timed (fun () -> run None) in
   Fmt.epr "  sequential: %.2fs@." seq_s;

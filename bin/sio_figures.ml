@@ -23,7 +23,10 @@ let list_figures () =
     Scalanio.Figures.all;
   let is = Scalanio.Figures.idle_scaling in
   Fmt.pr "%-16s %s (not in 'all'; request explicitly)@." is.Scalanio.Figures.is_id
-    is.Scalanio.Figures.is_title
+    is.Scalanio.Figures.is_title;
+  let rs = Scalanio.Figures.response_size in
+  Fmt.pr "%-16s %s (not in 'all'; request explicitly)@." rs.Scalanio.Figures.rs_id
+    rs.Scalanio.Figures.rs_title
 
 let sanitize label =
   String.map (fun c -> if c = ' ' || c = '/' || c = '=' then '-' else c) label
@@ -94,6 +97,83 @@ let write_idle_json dir seed series =
   close_out oc;
   Fmt.epr "wrote %s@." path
 
+let write_response_size_csv dir series =
+  List.iter
+    (fun s ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "response-size-%s.csv" (sanitize s.Sio_loadgen.Report.label))
+      in
+      let oc = open_out path in
+      output_string oc (Sio_loadgen.Report.csv_of_response_size_series s);
+      close_out oc;
+      Fmt.epr "wrote %s@." path)
+    series
+
+let write_response_size_json dir seed scale series =
+  let path = Filename.concat dir "response-size.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"figure\": \"response-size\",\n  \"seed\": %d,\n  \"scale\": %g,\n  \"series\": [\n"
+       seed scale);
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\n      \"label\": %S,\n      \"points\": [\n"
+           s.Sio_loadgen.Report.label);
+      let n = List.length s.Sio_loadgen.Report.points in
+      List.iteri
+        (fun pi p ->
+          let o = p.Sio_loadgen.Sweep.outcome in
+          let m = o.Sio_loadgen.Experiment.metrics in
+          let body = p.Sio_loadgen.Sweep.rate in
+          let wire = Sio_httpd.Http.response_bytes ~body_bytes:body in
+          let mbit =
+            m.Sio_loadgen.Metrics.reply_rate_avg *. float_of_int wire *. 8. /. 1e6
+          in
+          let st = o.Sio_loadgen.Experiment.server_stats in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        {\"body_bytes\": %d, \"offered_rate\": %d, \"reply_rate_avg\": %.2f, \"mbit_s\": %.2f, \"err_percent\": %.2f, \"median_ms\": %.3f, \"partial_writes\": %d, \"bytes_sent\": %d, \"kernel_mem_peak_bytes\": %d}%s\n"
+               body
+               (Scalanio.Figures.response_size_rate body)
+               m.Sio_loadgen.Metrics.reply_rate_avg mbit
+               m.Sio_loadgen.Metrics.error_percent
+               (Sio_loadgen.Metrics.median_latency_ms m)
+               st.Sio_httpd.Server_stats.partial_writes
+               st.Sio_httpd.Server_stats.bytes_sent
+               o.Sio_loadgen.Experiment.kernel_mem_peak
+               (if pi = n - 1 then "" else ",")))
+        s.Sio_loadgen.Report.points;
+      Buffer.add_string buf
+        (Printf.sprintf "      ]\n    }%s\n"
+           (if si = List.length series - 1 then "" else ",")))
+    series;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.epr "wrote %s@." path
+
+let run_response_size pool scale seed quiet csv_dir =
+  let on_point ~label p =
+    if not quiet then
+      Fmt.epr "  [response-size] %s body=%d avg=%.1f err=%.1f%%@." label
+        p.Sio_loadgen.Sweep.rate
+        p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+          .Sio_loadgen.Metrics.reply_rate_avg
+        p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+          .Sio_loadgen.Metrics.error_percent
+  in
+  let series = Scalanio.Figures.run_response_size ?pool ~scale ~seed ~on_point () in
+  Scalanio.Figures.render_response_size Fmt.stdout series;
+  (match csv_dir with Some dir -> write_response_size_csv dir series | None -> ());
+  write_response_size_json
+    (Option.value csv_dir ~default:Filename.current_dir_name)
+    seed scale series;
+  Fmt.pr "@."
+
 let run_idle_scaling pool seed quiet csv_dir =
   let on_point ~label p =
     if not quiet then
@@ -122,16 +202,21 @@ let run_figures names scale seed rates quiet csv_dir jobs =
     Fmt.epr "sio_figures: --jobs must be >= 0 (got %d)@." jobs;
     exit 1
   end;
-  (* idle-scaling is its own shape (x axis = idle count, fixed rate,
-     no --scale) and heavier than a classic figure, so it is excluded
-     from 'all' and handled separately when named. *)
+  (* idle-scaling and response-size have their own shapes (x axis =
+     idle count / body size, per-point rates) and are heavier than a
+     classic figure, so they are excluded from 'all' and handled
+     separately when named. *)
   let names, want_idle_scaling =
     let want = List.mem "idle-scaling" names in
     (List.filter (fun n -> n <> "idle-scaling") names, want)
   in
+  let names, want_response_size =
+    let want = List.mem "response-size" names in
+    (List.filter (fun n -> n <> "response-size") names, want)
+  in
   let targets =
     match names with
-    | [] when want_idle_scaling -> Ok []
+    | [] when want_idle_scaling || want_response_size -> Ok []
     | [] | [ "all" ] -> Ok Scalanio.Figures.all
     | names ->
         let rec resolve acc = function
@@ -165,7 +250,8 @@ let run_figures names scale seed rates quiet csv_dir jobs =
               (match csv_dir with Some dir -> write_csv dir fig series | None -> ());
               Fmt.pr "@.")
             figures;
-          if want_idle_scaling then run_idle_scaling pool seed quiet csv_dir);
+          if want_idle_scaling then run_idle_scaling pool seed quiet csv_dir;
+          if want_response_size then run_response_size pool scale seed quiet csv_dir);
       0
 
 let names_arg =

@@ -31,7 +31,8 @@ let id = "resource-pairing"
 
 let doc =
   "an acquire (Host.mem_reserve, watcher/observer registration, epoll or /dev/poll \
-   interest add) must be paired with a live release mention in the same module"
+   interest add, transmit-ring create/map) must be paired with a live release mention \
+   in the same module"
 
 type pair = {
   what : string;  (** human name of the resource *)
@@ -71,6 +72,18 @@ let pairs =
       acquires = [ [ "Interest_table"; "set" ]; [ "Interest_table"; "set_solaris" ] ];
       releases = [ [ "Interest_table"; "remove" ] ];
       owner = "Interest_table";
+    };
+    {
+      what = "transmit-ring reservation";
+      acquires = [ [ "Zc_ring"; "create" ] ];
+      releases = [ [ "Zc_ring"; "destroy" ] ];
+      owner = "Zc_ring";
+    };
+    {
+      what = "pinned transmit-ring pages";
+      acquires = [ [ "Zc_ring"; "map" ] ];
+      releases = [ [ "Zc_ring"; "unmap" ] ];
+      owner = "Zc_ring";
     };
   ]
 

@@ -105,3 +105,48 @@ val run_idle_scaling :
     counts with bit-identical results. *)
 
 val render_idle_scaling : Format.formatter -> Report.series list -> unit
+
+(** {1 The response-size figure}
+
+    The data-plane companion to the event-notification figures: reply
+    throughput (and wire Mbit/s) vs {e response body size} for the four
+    transmit paths — write() copies, sendfile, the shared transmit
+    ring, and selective header-copy/body-map — on the epoll server,
+    where the event layer is out of the way and the send path is the
+    bottleneck. The headline is the crossover: copy wins at 1 KB (the
+    ring pays its attach and whole-page costs regardless of fill), the
+    ring paths win from a few KB up. *)
+
+type response_size = {
+  rs_id : string;
+  rs_title : string;
+  rs_expectation : string;
+  rs_sizes : int list;
+      (** the x axis: {1 KB, 4 KB, 16 KB, 64 KB, 256 KB, 1 MB} *)
+  rs_series : (string * Sio_httpd.Conn.transmit) list;
+      (** copy, sendfile, ring, selective *)
+}
+
+val response_size : response_size
+
+val response_size_rate : int -> int
+(** Offered request rate for a given body size: above the copy path's
+    capacity at that size (so the achieved rate reads as each mode's
+    capacity) while leaving the ring paths headroom at 1 MB so
+    multi-buffer streaming completes with zero errors. *)
+
+val run_response_size :
+  ?pool:Sio_sim.Domain_pool.t ->
+  ?sizes:int list ->
+  ?scale:float ->
+  ?seed:int ->
+  ?on_point:(label:string -> Sweep.point -> unit) ->
+  unit ->
+  Report.series list
+(** One series per transmit path; each point's [Sweep.rate] field
+    carries the response body size (the x axis). Every point runs on a
+    1 Gbit/s modeled link so large responses stay CPU-bound.
+    Deterministic in [seed]; [pool] parallelizes over sizes with
+    bit-identical results. *)
+
+val render_response_size : Format.formatter -> Report.series list -> unit

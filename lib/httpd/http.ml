@@ -37,6 +37,8 @@ let response_head_bytes ~body_bytes =
        "HTTP/1.0 200 OK\r\nServer: thttpd-sim\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n"
        body_bytes)
 
+let header_bytes = response_head_bytes
+
 let response_bytes ~body_bytes = response_head_bytes ~body_bytes + body_bytes
 
 let default_document_bytes = 6144

@@ -20,6 +20,12 @@ val parse_request : string -> (request, [ `Incomplete | `Malformed ]) result
 val response_head_bytes : body_bytes:int -> int
 (** Size of the status line plus headers for a [body_bytes] response. *)
 
+val header_bytes : body_bytes:int -> int
+(** Alias of {!response_head_bytes}: the prefix of a response that the
+    selective zero-copy path copies through the send buffer (headers
+    are built in user space per request and are not page-aligned file
+    data) while the body is mapped into the transmit ring. *)
+
 val response_bytes : body_bytes:int -> int
 (** Total wire size of a 200 response with the given body. *)
 

@@ -71,11 +71,24 @@ let handle_conn_event t fd =
       t.stats.Server_stats.stale_events <- t.stats.Server_stats.stale_events + 1;
       Kernel.compute (cur_proc t) t.config.conn.Conn.read_spin_cost
   | Some conn -> (
-      match Conn.handle_readable (cur_proc t) t.config.conn conn ~now:(now t) with
-      | Conn.Replied _ ->
+      let was_sending = Conn.sending conn in
+      match Conn.handle_event (cur_proc t) t.config.conn conn ~now:(now t) with
+      | Conn.Replied n ->
+          t.stats.Server_stats.bytes_sent <- t.stats.Server_stats.bytes_sent + n;
           Server_stats.record_reply t.stats ~now:(now t);
           drop_conn t fd
       | Conn.Again -> ()
+      | Conn.Blocked n ->
+          t.stats.Server_stats.bytes_sent <- t.stats.Server_stats.bytes_sent + n;
+          t.stats.Server_stats.partial_writes <-
+            t.stats.Server_stats.partial_writes + 1;
+          (* In signal mode nothing to do: F_SETSIG delivers POLLOUT
+             edges through the same queue. The poll sibling must switch
+             its recorded interest to writable. *)
+          if not was_sending then (
+            match (t.mode, t.poll_backend) with
+            | Polling, Some b -> Backend.modify b fd Pollmask.pollout
+            | (Signals | Polling), _ -> ())
       | Conn.Closed_by_peer ->
           t.stats.Server_stats.dropped_conns <- t.stats.Server_stats.dropped_conns + 1;
           drop_conn t fd)
@@ -127,12 +140,12 @@ let sweep t =
    sibling's: an SCM_RIGHTS message over their UNIX-domain socket pair,
    followed by the sibling growing its pollfd array. The socket itself
    is shared; only the descriptor changes hands (and number). *)
-let transfer_fd t ~backend fd =
+let transfer_fd t ~backend ~mask fd =
   match Fd_table.close (Process.fds t.proc) fd with
   | Some (Process.Sock sock) when Socket.state sock <> Socket.Closed -> (
       match Process.install_socket t.sibling sock with
       | Ok new_fd ->
-          Backend.add backend new_fd Pollmask.pollin;
+          Backend.add backend new_fd mask;
           Some (fd, new_fd, sock)
       | Error `Emfile ->
           Socket.reset sock;
@@ -182,7 +195,12 @@ let overflow_recovery t ~k =
             go rest)
     | `Conn (fd, conn) :: rest ->
         Host.charge_run host ~cost:per_fd (fun () ->
-            (match transfer_fd t ~backend fd with
+            (* A connection caught mid-send must come back as a
+               writable interest or it stalls after the handoff. *)
+            let mask =
+              if Conn.sending conn then Pollmask.pollout else Pollmask.pollin
+            in
+            (match transfer_fd t ~backend ~mask fd with
             | Some (_, new_fd, _) ->
                 Fd_map.set t.conns new_fd (Conn.with_fd conn ~fd:new_fd)
             | None -> ());

@@ -10,6 +10,8 @@ type t = {
   mutable mode_switches : int;
   mutable emfile_drops : int;
   mutable enobufs_drops : int;
+  mutable partial_writes : int;
+  mutable bytes_sent : int;
   reply_sampler : Sampler.t;
 }
 
@@ -24,6 +26,8 @@ let create ?(sample_interval = Time.s 1) () =
     mode_switches = 0;
     emfile_drops = 0;
     enobufs_drops = 0;
+    partial_writes = 0;
+    bytes_sent = 0;
     reply_sampler = Sampler.create ~interval:sample_interval;
   }
 
@@ -35,6 +39,7 @@ let reply_rates t ~until = Sampler.rates t.reply_sampler ~until
 
 let pp ppf t =
   Fmt.pf ppf
-    "replies=%d accepted=%d dropped=%d timed_out=%d stale=%d overflows=%d switches=%d emfile=%d enobufs=%d"
+    "replies=%d accepted=%d dropped=%d timed_out=%d stale=%d overflows=%d switches=%d emfile=%d enobufs=%d partial_writes=%d bytes_sent=%d"
     t.replies t.accepted t.dropped_conns t.timed_out_conns t.stale_events
     t.overflow_recoveries t.mode_switches t.emfile_drops t.enobufs_drops
+    t.partial_writes t.bytes_sent

@@ -14,6 +14,12 @@ type t = {
   mutable emfile_drops : int;  (** accepts refused for lack of fds *)
   mutable enobufs_drops : int;
       (** accepts refused for lack of modeled kernel memory *)
+  mutable partial_writes : int;
+      (** send events that left a response partly unsent (short write
+          or full buffer), parking the connection on POLLOUT *)
+  mutable bytes_sent : int;
+      (** response bytes accepted into send buffers, across all
+          connections and all chunks of streamed sends *)
   reply_sampler : Sampler.t;
 }
 

@@ -70,11 +70,20 @@ let handle_conn_event t fd =
   match Fd_map.find t.conns fd with
   | None -> t.stats.Server_stats.stale_events <- t.stats.Server_stats.stale_events + 1
   | Some conn -> (
-      match Conn.handle_readable t.proc t.config.conn conn ~now:(now t) with
-      | Conn.Replied _ ->
+      let was_sending = Conn.sending conn in
+      match Conn.handle_event t.proc t.config.conn conn ~now:(now t) with
+      | Conn.Replied n ->
+          t.stats.Server_stats.bytes_sent <- t.stats.Server_stats.bytes_sent + n;
           Server_stats.record_reply t.stats ~now:(now t);
           drop_conn t fd
       | Conn.Again -> ()
+      | Conn.Blocked n ->
+          (* Response bigger than the send buffer: park the connection
+             on POLLOUT and keep streaming on writable edges. *)
+          t.stats.Server_stats.bytes_sent <- t.stats.Server_stats.bytes_sent + n;
+          t.stats.Server_stats.partial_writes <-
+            t.stats.Server_stats.partial_writes + 1;
+          if not was_sending then Backend.modify t.backend fd Pollmask.pollout
       | Conn.Closed_by_peer ->
           t.stats.Server_stats.dropped_conns <- t.stats.Server_stats.dropped_conns + 1;
           drop_conn t fd)

@@ -60,6 +60,13 @@ type t = {
           kernel-internal pass instead of two crossings); the paper's
           Section 6 suggests studying sendfile with the new event
           models *)
+  page_map_ns : float;
+      (** per-page cost of pinning and mapping payload into a shared
+          transmit ring ({!Zc_ring}): get_user_pages, PTE edit and TLB
+          maintenance for one page. Charged by {!Kernel.ring_send} for
+          every ring page a send newly occupies, *instead of*
+          [copy_per_byte_ns]; unpinning on transmit completion rides
+          the interrupt path and is not charged separately. *)
   sock_struct_bytes : int;
       (** modeled kernel bytes of fixed per-socket state (struct sock
           and friends) beyond the receive/send buffer capacities;
@@ -76,6 +83,10 @@ val copy_cost : t -> bytes_len:int -> Time.t
 
 val sendfile_cost : t -> bytes_len:int -> Time.t
 (** The cheaper sendfile() equivalent. *)
+
+val page_map_cost : t -> pages:int -> Time.t
+(** [page_map_cost m ~pages] is the cost of pinning [pages] fresh
+    pages into a transmit ring. *)
 
 val zero : t
 (** All-zero costs; used by unit tests that check pure semantics. *)

@@ -4,6 +4,8 @@ type read_result = Data of string * int | Eof | Eagain | Econnreset
 
 type 'a syscall_result = ('a, [ `Ebadf | `Emfile | `Eagain | `Einval ]) result
 
+type write_error = [ `Ebadf | `Emfile | `Eagain | `Einval | `Econnreset ]
+
 let enter proc extra =
   let host = Process.host proc in
   let costs = host.Host.costs in
@@ -81,12 +83,15 @@ let write proc fd ~bytes_len =
     match Process.lookup_socket proc fd with
     | None -> Error `Ebadf
     | Some sock ->
-        let accepted = Socket.write_reserve sock bytes_len in
-        if accepted > 0 then begin
-          ignore (Host.charge host (Cost_model.copy_cost costs ~bytes_len:accepted));
-          Socket.transport_send sock accepted
-        end;
-        Ok accepted
+        if Socket.state sock = Socket.Reset then Error `Econnreset
+        else begin
+          let accepted = Socket.write_reserve sock bytes_len in
+          if accepted > 0 then begin
+            ignore (Host.charge host (Cost_model.copy_cost costs ~bytes_len:accepted));
+            Socket.transport_send sock accepted
+          end;
+          Ok accepted
+        end
   end
 
 let sendfile proc fd ~bytes_len =
@@ -98,12 +103,65 @@ let sendfile proc fd ~bytes_len =
     match Process.lookup_socket proc fd with
     | None -> Error `Ebadf
     | Some sock ->
-        let accepted = Socket.write_reserve sock bytes_len in
-        if accepted > 0 then begin
-          ignore (Host.charge host (Cost_model.sendfile_cost costs ~bytes_len:accepted));
-          Socket.transport_send sock accepted
-        end;
-        Ok accepted
+        if Socket.state sock = Socket.Reset then Error `Econnreset
+        else begin
+          let accepted = Socket.write_reserve sock bytes_len in
+          if accepted > 0 then begin
+            ignore
+              (Host.charge host (Cost_model.sendfile_cost costs ~bytes_len:accepted));
+            Socket.transport_send sock accepted
+          end;
+          Ok accepted
+        end
+  end
+
+let ring_attach proc fd ~slot_bytes =
+  if slot_bytes <= 0 then Error `Einval
+  else begin
+    let host = enter proc Time.zero in
+    let costs = host.Host.costs in
+    match Process.lookup_socket proc fd with
+    | None -> Error `Ebadf
+    | Some sock -> (
+        match Socket.state sock with
+        | Socket.Established | Socket.Peer_closed ->
+            (* Same one-time setup as the /dev/poll result region:
+               allocating the ring and mapping it into user space. *)
+            ignore (Host.charge host costs.Cost_model.mmap_setup);
+            if Socket.ring_attach sock ~slot_bytes then Ok ()
+            else Error `Enobufs
+        | Socket.Reset -> Error `Econnreset
+        | Socket.Listening | Socket.Closed -> Error `Einval)
+  end
+
+let ring_send proc fd ~bytes_len ~copy_bytes =
+  if bytes_len < 0 || copy_bytes < 0 || copy_bytes > bytes_len then Error `Einval
+  else begin
+    let host = enter proc Time.zero in
+    let costs = host.Host.costs in
+    ignore (Host.charge host costs.Cost_model.write_syscall);
+    match Process.lookup_socket proc fd with
+    | None -> Error `Ebadf
+    | Some sock ->
+        if Socket.state sock = Socket.Reset then Error `Econnreset
+        else begin
+          match Socket.ring_reserve sock bytes_len ~copy_bytes with
+          | None -> Error `Einval
+          | Some (accepted, pages) ->
+              if accepted > 0 then begin
+                (* Selective mode copies the first [copy_bytes] through
+                   the buffer (headers); everything past them was pinned
+                   into the ring and is charged per page, not per byte. *)
+                let copied = Stdlib.min accepted copy_bytes in
+                if copied > 0 then
+                  ignore
+                    (Host.charge host (Cost_model.copy_cost costs ~bytes_len:copied));
+                if pages > 0 then
+                  ignore (Host.charge host (Cost_model.page_map_cost costs ~pages));
+                Socket.transport_send sock accepted
+              end;
+              Ok accepted
+        end
   end
 
 let close proc fd =

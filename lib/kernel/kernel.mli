@@ -18,6 +18,12 @@ type read_result =
 
 type 'a syscall_result = ('a, [ `Ebadf | `Emfile | `Eagain | `Einval ]) result
 
+type write_error = [ `Ebadf | `Emfile | `Eagain | `Einval | `Econnreset ]
+(** Send-path errors: the plain {!type-syscall_result} set plus
+    [`Econnreset] for a send attempted after the peer reset the
+    connection (previously indistinguishable from a full buffer's
+    0-byte short write). *)
+
 (** {1 Socket calls} *)
 
 val listen : Process.t -> backlog:int -> int syscall_result
@@ -35,14 +41,38 @@ val accept :
 
 val read : Process.t -> int -> read_result syscall_result
 
-val write : Process.t -> int -> bytes_len:int -> int syscall_result
-(** Returns bytes accepted into the send buffer (possibly short). *)
+val write : Process.t -> int -> bytes_len:int -> (int, write_error) result
+(** Returns bytes accepted into the send buffer (possibly short; 0
+    when full — the caller should wait for POLLOUT). *)
 
-val sendfile : Process.t -> int -> bytes_len:int -> int syscall_result
+val sendfile : Process.t -> int -> bytes_len:int -> (int, write_error) result
 (** Like {!write} but through the zero-copy path: the payload moves
     once inside the kernel instead of crossing the user boundary
     twice. The paper's Section 6 flags sendfile() as the natural
     companion to the new event models. *)
+
+val ring_attach :
+  Process.t ->
+  int ->
+  slot_bytes:int ->
+  (unit, [ `Ebadf | `Einval | `Enobufs | `Econnreset ]) result
+(** Attaches a shared transmit ring ({!Zc_ring}) to the connection,
+    charging the one-time {!Cost_model.t.mmap_setup} cost. The ring is
+    sized to the socket's send-buffer capacity and its slots are
+    reserved against the host's memory budget; [`Enobufs] when that
+    budget refuses. Idempotent on an already-attached socket (the
+    setup cost is charged again — the caller is expected to attach
+    once per connection). *)
+
+val ring_send :
+  Process.t -> int -> bytes_len:int -> copy_bytes:int -> (int, write_error) result
+(** Like {!write}, but payload beyond the first [copy_bytes] is pinned
+    into the attached ring and charged per freshly occupied page
+    ({!Cost_model.t.page_map_ns}) instead of per byte; the first
+    [copy_bytes] (selective mode's headers) still pay
+    {!Cost_model.t.copy_per_byte_ns}. [`Einval] when no ring is
+    attached or [copy_bytes] is out of range. Pure zero-copy is
+    [~copy_bytes:0]. *)
 
 val close : Process.t -> int -> unit syscall_result
 

@@ -1,29 +1,74 @@
-type t = { capacity : int; mutable level : int }
+(* A byte-count ring over a Bigarray backing store. The simulation
+   moves message *sizes*, not payload text, so correctness only needs
+   the level counter — but backing the counter with a real ring keeps
+   the model honest: occupied cells are marked on push and cleared on
+   drain, head/tail wrap like a kernel socket buffer's, and the
+   invariant "level = number of marked cells" is what the
+   model-equivalence test suite checks against the pure int-level
+   reference. The Bigarray lives outside the OCaml heap, like the
+   arena columns, so a buffer's backing store adds no GC pressure. *)
+
+type t = {
+  data : (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  capacity : int;
+  mutable head : int;  (* next cell to drain, in [0, capacity) *)
+  mutable level : int;
+  mutable high_water : int;
+}
+
+let occupied = '\xff'
+let vacant = '\x00'
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Sock_buf.create: capacity must be positive";
-  { capacity; level = 0 }
+  let data = Bigarray.Array1.create Bigarray.char Bigarray.c_layout capacity in
+  Bigarray.Array1.fill data vacant;
+  { data; capacity; head = 0; level = 0; high_water = 0 }
 
 let capacity t = t.capacity
 let level t = t.level
 let space t = t.capacity - t.level
+let high_water t = t.high_water
+
+(* Mark/clear [n] cells starting at [from], wrapping once at most
+   (n <= capacity always holds at the call sites). *)
+let set_range t ~from ~n byte =
+  let first = Stdlib.min n (t.capacity - from) in
+  if first > 0 then Bigarray.Array1.fill (Bigarray.Array1.sub t.data from first) byte;
+  let rest = n - first in
+  if rest > 0 then Bigarray.Array1.fill (Bigarray.Array1.sub t.data 0 rest) byte
 
 let push t n =
   if n < 0 then invalid_arg "Sock_buf.push: negative size";
   let accepted = Stdlib.min n (space t) in
+  set_range t ~from:((t.head + t.level) mod t.capacity) ~n:accepted occupied;
   t.level <- t.level + accepted;
+  if t.level > t.high_water then t.high_water <- t.level;
   accepted
 
 let drain t n =
   if n < 0 then invalid_arg "Sock_buf.drain: negative size";
   let removed = Stdlib.min n t.level in
+  set_range t ~from:t.head ~n:removed vacant;
+  t.head <- (t.head + removed) mod t.capacity;
   t.level <- t.level - removed;
   removed
 
 let drain_all t =
   let n = t.level in
+  set_range t ~from:t.head ~n vacant;
+  t.head <- (t.head + n) mod t.capacity;
   t.level <- 0;
   n
 
 let is_empty t = t.level = 0
 let is_full t = t.level >= t.capacity
+
+(* Test-only invariant hook: the number of marked cells in the backing
+   store, which model equivalence requires to equal [level]. *)
+let occupied_cells t =
+  let n = ref 0 in
+  for i = 0 to t.capacity - 1 do
+    if Bigarray.Array1.get t.data i = occupied then incr n
+  done;
+  !n

@@ -4,7 +4,13 @@
     socket buffers; actual request text rides alongside in the socket
     object. A buffer has a capacity and answers the two questions
     event notification cares about: is there anything to read, and is
-    there room to write. *)
+    there room to write.
+
+    The counter is backed by a Bigarray ring (cells marked on push,
+    cleared on drain, head wrapping like a kernel socket buffer's) so
+    the occupancy arithmetic is checkable against a real store, and by
+    a {!high_water} mark recording the deepest fill ever reached —
+    the buffer-sizing signal the streaming send path reads. *)
 
 type t
 
@@ -26,3 +32,13 @@ val drain_all : t -> int
 
 val is_empty : t -> bool
 val is_full : t -> bool
+
+val high_water : t -> int
+(** Deepest [level] the buffer has ever reached. Starts at 0, only
+    grows, and is never reset by draining — the signal for sizing
+    send buffers against streaming workloads. *)
+
+val occupied_cells : t -> int
+(** Number of marked cells in the Bigarray backing store — always
+    equal to {!level}; exposed so the model-equivalence tests can hold
+    the ring arithmetic to the store, not just the counter. O(capacity). *)

@@ -121,6 +121,7 @@ type cold_rec = {
   mutable payload : Buffer.t option;
   mutable on_send : int -> unit;
   mutable on_close : unit -> unit;
+  mutable ring : Zc_ring.t option;
 }
 
 type Conn_arena.cold += Sock_cold of cold_rec
@@ -147,6 +148,7 @@ let cold t =
           payload = None;
           on_send = (fun _ -> ());
           on_close = (fun () -> ());
+          ring = None;
         }
       in
       (arena t).Conn_arena.cold.(t.slot) <- Some (Sock_cold c);
@@ -383,7 +385,18 @@ let release_send_space t n =
     let slot = t.slot in
     let level = a.Conn_arena.snd_level.{slot} in
     let was_full = a.Conn_arena.snd_cap.{slot} - level = 0 in
-    a.Conn_arena.snd_level.{slot} <- level - Stdlib.min n level;
+    let level' = level - Stdlib.min n level in
+    a.Conn_arena.snd_level.{slot} <- level';
+    (* Transmit completion unpins ring pages the wire has carried.
+       The send buffer drains FIFO and copied-through bytes (the
+       selective mode's headers) sit in front of mapped ones, so
+       keeping [pinned <= level'] unpins exactly the mapped bytes
+       that have left the buffer. *)
+    (match cold_opt t with
+    | Some { ring = Some r; _ } ->
+        let pinned = Zc_ring.pinned r in
+        if pinned > level' then ignore (Zc_ring.unmap r ~bytes:(pinned - level'))
+    | Some _ | None -> ());
     match a.Conn_arena.st.{slot} with
     | 2 | 3 -> if was_full then post t Pollmask.pollout
     | _ -> ()
@@ -432,6 +445,60 @@ let write_reserve t n =
         accepted
     | _ -> 0
   end
+
+(* Shared-ring transmit. The ring is sized to the send buffer (one
+   slot-page granule at a time, [snd_cap] total), so a successful
+   [ring_reserve] can always pin what the buffer accepted. This module
+   owns both halves of the ring's lifecycle pairs: [ring_attach]
+   creates ([Zc_ring.create]) and [close]/[discard] destroy
+   ([Zc_ring.destroy]); [ring_reserve] maps and [release_send_space]
+   unmaps. *)
+let ring_attach t ~slot_bytes =
+  if slot_bytes <= 0 then invalid_arg "Socket.ring_attach: slot_bytes must be positive";
+  if not (live t) then false
+  else begin
+    let a = arena t in
+    match a.Conn_arena.st.{t.slot} with
+    | 2 | 3 -> (
+        let c = cold t in
+        match c.ring with
+        | Some _ -> true
+        | None ->
+            let cap = a.Conn_arena.snd_cap.{t.slot} in
+            let slots = Stdlib.max 1 ((cap + slot_bytes - 1) / slot_bytes) in
+            (match Zc_ring.create ~host:t.host ~slots ~slot_bytes with
+            | Some r ->
+                c.ring <- Some r;
+                true
+            | None -> false))
+    | _ -> false
+  end
+
+let ring t =
+  match if live t then cold_opt t else None with
+  | Some c -> c.ring
+  | None -> None
+
+(* Like [write_reserve], but the accepted bytes beyond the first
+   [copy_bytes] are pinned into the transmit ring; returns the bytes
+   accepted and the pages freshly occupied (for the caller to charge).
+   [None] when no ring is attached. *)
+let ring_reserve t n ~copy_bytes =
+  if n < 0 || copy_bytes < 0 then invalid_arg "Socket.ring_reserve: negative size";
+  match if live t then cold_opt t else None with
+  | None | Some { ring = None; _ } -> None
+  | Some { ring = Some r; _ } ->
+      let a = arena t in
+      let slot = t.slot in
+      (match a.Conn_arena.st.{slot} with
+      | 2 | 3 ->
+          let level = a.Conn_arena.snd_level.{slot} in
+          let accepted = Stdlib.min n (a.Conn_arena.snd_cap.{slot} - level) in
+          a.Conn_arena.snd_level.{slot} <- level + accepted;
+          let mapped = Stdlib.max 0 (accepted - copy_bytes) in
+          let pages = Zc_ring.map r ~bytes:mapped in
+          Some (accepted, pages)
+      | _ -> Some (0, 0))
 
 let accept_pop t =
   if live t && (arena t).Conn_arena.st.{t.slot} = st_listening then
@@ -491,8 +558,16 @@ let tcp_link t = if live t then (arena t).Conn_arena.tcp_id.{t.slot} else 0
    handshake, accept-path drop) with zero observable behaviour: no
    edge is posted, no hook runs, no cost is charged — only the memory
    reservation and the slot come back. *)
+let release_ring t =
+  match cold_opt t with
+  | Some ({ ring = Some r; _ } as c) ->
+      Zc_ring.destroy r;
+      c.ring <- None
+  | Some _ | None -> ()
+
 let discard t =
   if live t then begin
+    release_ring t;
     release_kernel_memory t;
     Conn_arena.free (arena t) t.slot
   end
@@ -516,10 +591,11 @@ let close t =
         in
         post t Pollmask.pollnval;
         on_close ();
-        (* Release everything the connection pinned: the memory
-           reservation, the cold record (closures, payload buffer) and
-           the slot itself. Outstanding handles go stale and read as
-           [Closed]. *)
+        (* Release everything the connection pinned: the transmit
+           ring, the memory reservation, the cold record (closures,
+           payload buffer) and the slot itself. Outstanding handles go
+           stale and read as [Closed]. *)
+        release_ring t;
         release_kernel_memory t;
         Conn_arena.free a t.slot
   end

@@ -130,6 +130,26 @@ val write_reserve : t -> int -> int
 (** Claims send-buffer space; returns bytes accepted (0 when full or
     not writable). *)
 
+(** {1 Shared-ring transmit} (see {!Zc_ring}) *)
+
+val ring_attach : t -> slot_bytes:int -> bool
+(** Attaches a transmit ring sized to the send buffer
+    ([snd_cap / slot_bytes] slots), reserving its pages against the
+    host's memory budget; [false] when the budget refuses or the
+    socket is not connected. Idempotent — a second attach on a live
+    ring succeeds without reserving again. The ring is destroyed (and
+    its reservation released) by {!close} and {!discard}. *)
+
+val ring : t -> Zc_ring.t option
+
+val ring_reserve : t -> int -> copy_bytes:int -> (int * int) option
+(** Like {!write_reserve}, but the accepted bytes beyond the first
+    [copy_bytes] (the selective mode's copied-through headers) are
+    pinned into the attached ring. Returns [(accepted, fresh_pages)]
+    — the caller charges {!Cost_model.page_map_cost} for
+    [fresh_pages] — or [None] when no ring is attached. Pinned pages
+    are unpinned by {!release_send_space} as the wire drains them. *)
+
 val accept_pop : t -> t option
 val accept_queue_length : t -> int
 

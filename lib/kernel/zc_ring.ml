@@ -1,0 +1,87 @@
+(* Per-connection shared transmit ring: the paper's mmap'ed DP_POLL
+   result-region trick applied to the data plane. User space and the
+   kernel share [slots] fixed slots of [slot_bytes]; a send pins its
+   payload pages into the ring instead of copying them, so the kernel
+   charges per *page* ([Cost_model.page_map_ns]) rather than per byte.
+
+   Accounting is a byte stream chopped into slot-sized pages: [map]
+   advances the mapped position, [unmap] the drained position, and a
+   page is charged exactly when the mapped position crosses into it.
+   The two positions only grow, so map/unmap page counts can never
+   drift apart regardless of how sends and transmit completions
+   interleave. [pinned] (mapped minus drained) is the ring's live
+   footprint; it is bounded by [capacity] because callers pin at most
+   what the send buffer accepted and the ring is sized to the send
+   buffer.
+
+   The ring's slots are real kernel memory: [create] reserves
+   [slots * slot_bytes] against the host's modeled memory limit —
+   the same admission control as the per-socket buffers — and refuses
+   the attach when the budget is exhausted. [destroy] releases the
+   reservation; the resource-pairing lint holds every module that
+   mentions [create]/[map] to a live [destroy]/[unmap] mention. *)
+
+type t = {
+  host : Host.t;
+  slots : int;
+  slot_bytes : int;
+  mutable mapped : int;  (* cumulative bytes mapped, monotone *)
+  mutable drained : int;  (* cumulative bytes unmapped, monotone *)
+  mutable pages_mapped : int;  (* cumulative pages charged *)
+  mutable high_water : int;  (* max pinned bytes ever *)
+  mutable alive : bool;
+}
+
+let capacity t = t.slots * t.slot_bytes
+let pinned t = t.mapped - t.drained
+let high_water t = t.high_water
+let pages_mapped t = t.pages_mapped
+let slot_bytes t = t.slot_bytes
+
+(* Pages occupied by the first [pos] bytes of the stream. *)
+let pages_upto t pos = (pos + t.slot_bytes - 1) / t.slot_bytes
+
+let create ~host ~slots ~slot_bytes =
+  if slots <= 0 then invalid_arg "Zc_ring.create: slots must be positive";
+  if slot_bytes <= 0 then invalid_arg "Zc_ring.create: slot_bytes must be positive";
+  if Host.mem_reserve host (slots * slot_bytes) then
+    Some
+      {
+        host;
+        slots;
+        slot_bytes;
+        mapped = 0;
+        drained = 0;
+        pages_mapped = 0;
+        high_water = 0;
+        alive = true;
+      }
+  else None
+
+let map t ~bytes =
+  if bytes < 0 then invalid_arg "Zc_ring.map: negative size";
+  if not t.alive then 0
+  else begin
+    let bytes = Stdlib.min bytes (capacity t - pinned t) in
+    let pages = pages_upto t (t.mapped + bytes) - pages_upto t t.mapped in
+    t.mapped <- t.mapped + bytes;
+    t.pages_mapped <- t.pages_mapped + pages;
+    if pinned t > t.high_water then t.high_water <- pinned t;
+    pages
+  end
+
+let unmap t ~bytes =
+  if bytes < 0 then invalid_arg "Zc_ring.unmap: negative size";
+  if not t.alive then 0
+  else begin
+    let bytes = Stdlib.min bytes (pinned t) in
+    let pages = pages_upto t (t.drained + bytes) - pages_upto t t.drained in
+    t.drained <- t.drained + bytes;
+    pages
+  end
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Host.mem_release t.host (capacity t)
+  end

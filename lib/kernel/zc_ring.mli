@@ -1,0 +1,46 @@
+(** Per-connection shared transmit ring for the zero-copy data plane.
+
+    A fixed set of slot-sized pages shared between user space and the
+    kernel. Sends pin payload into the ring ({!map}) instead of
+    copying it, and transmit completions unpin it ({!unmap}); the
+    syscall layer charges {!Cost_model.t.page_map_ns} per freshly
+    occupied page in place of the per-byte copy cost.
+
+    The slots are modeled kernel memory: {!create} reserves
+    [slots * slot_bytes] against {!Host.t.mem_limit} (the same
+    admission control as socket buffers) and returns [None] when the
+    budget is exhausted; {!destroy} releases the reservation. The
+    resource-pairing lint rule enforces that any module mentioning
+    [create]/[map] also has a live [destroy]/[unmap] mention. *)
+
+type t
+
+val create : host:Host.t -> slots:int -> slot_bytes:int -> t option
+(** [None] when the host's modeled memory budget refuses the
+    reservation. Raises [Invalid_argument] on non-positive sizes. *)
+
+val destroy : t -> unit
+(** Releases the memory reservation; idempotent. A destroyed ring
+    accepts no further maps. *)
+
+val map : t -> bytes:int -> int
+(** [map r ~bytes] pins [bytes] more payload (clamped to the free
+    capacity) and returns the number of pages newly occupied — the
+    count the caller must charge {!Cost_model.page_map_cost} for. *)
+
+val unmap : t -> bytes:int -> int
+(** [unmap r ~bytes] unpins [bytes] drained payload (clamped to
+    {!pinned}) and returns the pages freed. Not separately charged:
+    unpinning rides the transmit-completion interrupt path. *)
+
+val capacity : t -> int
+val slot_bytes : t -> int
+
+val pinned : t -> int
+(** Live pinned bytes: mapped minus drained. *)
+
+val high_water : t -> int
+(** Maximum {!pinned} ever observed. *)
+
+val pages_mapped : t -> int
+(** Cumulative pages charged over the ring's lifetime. *)

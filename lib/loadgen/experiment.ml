@@ -32,8 +32,9 @@ type config = {
   drain : Time.t;
   hints : bool;
   wake_policy : Wait_queue.wake_policy;
-  use_sendfile : bool;
+  transmit : Conn.transmit;
   kernel_mem_limit : int option;
+  net_bandwidth_bits_per_sec : int option;
 }
 
 let default_config ~kind ~workload =
@@ -51,8 +52,9 @@ let default_config ~kind ~workload =
     drain = Time.s 1;
     hints = true;
     wake_policy = Wait_queue.Wake_all;
-    use_sendfile = false;
+    transmit = Conn.Copy;
     kernel_mem_limit = None;
+    net_bandwidth_bits_per_sec = None;
   }
 
 type outcome = {
@@ -81,7 +83,7 @@ let with_fs cfg host =
   Fs.add_file fs ~path:cfg.workload.Workload.document_path
     ~bytes:cfg.workload.Workload.doc_bytes;
   let conn_of base =
-    { base with Sio_httpd.Conn.fs = Some fs; use_sendfile = cfg.use_sendfile }
+    { base with Sio_httpd.Conn.fs = Some fs; transmit = cfg.transmit }
   in
   {
     cfg with
@@ -166,7 +168,10 @@ let run cfg =
     Host.create ~engine ~costs:cfg.costs ~wake_policy:cfg.wake_policy
       ~hints_by_default:cfg.hints ?mem_limit:cfg.kernel_mem_limit ()
   in
-  let net = Sio_net.Network.create ~engine () in
+  let net =
+    Sio_net.Network.create ~engine
+      ?bandwidth_bits_per_sec:cfg.net_bandwidth_bits_per_sec ()
+  in
   let proc = Process.create ~host ~fd_limit:cfg.server_fd_limit ~name:"server" () in
   let cfg = with_fs cfg host in
   let server = start_server cfg proc in

@@ -32,12 +32,19 @@ type config = {
   drain : Time.t;  (** grace period after generation ends *)
   hints : bool;  (** device-driver hinting available (ablation knob) *)
   wake_policy : Wait_queue.wake_policy;
-  use_sendfile : bool;
-      (** serve responses through sendfile() (paper §6 future work) *)
+  transmit : Conn.transmit;
+      (** send path for responses: plain write() copies (the default),
+          sendfile (paper §6 future work), the shared transmit ring,
+          or selective header-copy + body-map *)
   kernel_mem_limit : int option;
       (** cap on modeled kernel memory for sockets ([Host.create]'s
           [mem_limit]); [None] (the default) models an unbounded
           machine and leaves accept behavior exactly as before *)
+  net_bandwidth_bits_per_sec : int option;
+      (** link speed between clients and server; [None] takes the
+          network default (100 Mbit/s, the paper's testbed). The
+          response-size figure raises it to 1 Gbit/s so large bodies
+          are CPU-bound, not wire-bound. *)
 }
 
 val default_config : kind:server_kind -> workload:Workload.t -> config

@@ -123,6 +123,23 @@ let csv_of_series ?(x_header = "rate") s =
     s.points;
   Buffer.contents buf
 
+let csv_of_response_size_series s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "body_bytes,avg,sd,min,max,err_percent,median_ms,attempted,completed,mbit_s\n";
+  List.iter
+    (fun p ->
+      let m = p.Sweep.outcome.Experiment.metrics in
+      let wire = Sio_httpd.Http.response_bytes ~body_bytes:p.Sweep.rate in
+      let mbit = m.Metrics.reply_rate_avg *. float_of_int wire *. 8. /. 1e6 in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.3f,%d,%d,%.2f\n" p.Sweep.rate
+           m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd m.Metrics.reply_rate_min
+           m.Metrics.reply_rate_max m.Metrics.error_percent
+           (Metrics.median_latency_ms m) m.Metrics.attempted m.Metrics.completed mbit))
+    s.points;
+  Buffer.contents buf
+
 let csv_of_idle_series s =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

@@ -27,6 +27,12 @@ val csv_of_series : ?x_header:string -> series -> string
     ["rate"]) for series whose x axis is not a request rate, e.g. the
     idle-connection counts of the idle-scaling figure. *)
 
+val csv_of_response_size_series : series -> string
+(** [csv_of_series ~x_header:"body_bytes"] plus a trailing [mbit_s]
+    column: achieved wire throughput, [reply_rate_avg] times the full
+    response size (headers + body) in megabits per second. The x value
+    of each point is the response body size in bytes. *)
+
 val csv_of_idle_series : series -> string
 (** [csv_of_series ~x_header:"idle"] plus a trailing [kernel_bytes]
     column: the peak modeled kernel memory reserved for sockets during

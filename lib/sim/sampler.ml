@@ -34,7 +34,11 @@ let record t ~now = record_n t ~now 1
 let rates t ~until =
   if not t.started then []
   else begin
-    let span = Time.sub until t.origin in
+    (* [until] can precede the first recorded sample (origin) when a
+       measurement window closes before the first slow reply lands —
+       e.g. a multi-second first response; there are then no complete
+       intervals, not a negative number of them. *)
+    let span = Stdlib.max 0 (Time.sub until t.origin) in
     let complete = span / t.interval in
     let scale = 1e9 /. float_of_int t.interval in
     let n = Stdlib.min complete (t.last_index + 1) in

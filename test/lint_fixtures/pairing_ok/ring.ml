@@ -1,0 +1,14 @@
+(* Paired and live: both halves of both ring lifecycles share the file
+   with their acquires and are reachable from the toplevel effect. *)
+let attach host = Zc_ring.create ~host ~slots:4 ~slot_bytes:4096
+let detach r = Zc_ring.destroy r
+let pin r = ignore (Zc_ring.map r ~bytes:4096)
+let complete r = ignore (Zc_ring.unmap r ~bytes:4096)
+
+let () =
+  match attach () with
+  | Some r ->
+      pin r;
+      complete r;
+      detach r
+  | None -> ()

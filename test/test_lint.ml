@@ -351,6 +351,12 @@ let test_pairing_bad () =
        referenced by nothing), so no path ever releases; call the release from the \
        close/error paths. reached via: Backend.watch -> acquire: Socket.add_watcher \
        (lint_fixtures/pairing_bad/backend.ml:3)";
+      "lint_fixtures/pairing_bad/ring.ml:3:18: resource-pairing: Zc_ring.create \
+       acquires transmit-ring reservation here but module Ring never mentions a \
+       matching release (Zc_ring.destroy); release on every close/error path, or \
+       annotate the acquire with [@lint.ignore \"reason\"] if the resource is \
+       instance-lifetime. reached via: Ring.accept_one -> Ring.attach -> acquire: \
+       Zc_ring.create (lint_fixtures/pairing_bad/ring.ml:3)";
       "lint_fixtures/pairing_bad/server.ml:3:17: resource-pairing: Host.mem_reserve \
        acquires modeled kernel memory here but module Server never mentions a matching \
        release (Host.mem_release); release on every close/error path, or annotate the \

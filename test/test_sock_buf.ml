@@ -51,11 +51,99 @@ let prop_conservation =
         ops;
       !pushed = !drained + Sock_buf.level b)
 
+let test_high_water () =
+  let b = Sock_buf.create ~capacity:100 in
+  Alcotest.(check int) "starts at zero" 0 (Sock_buf.high_water b);
+  ignore (Sock_buf.push b 30);
+  ignore (Sock_buf.push b 40);
+  Alcotest.(check int) "tracks peak" 70 (Sock_buf.high_water b);
+  ignore (Sock_buf.drain b 60);
+  Alcotest.(check int) "draining never lowers it" 70 (Sock_buf.high_water b);
+  ignore (Sock_buf.push b 55);
+  Alcotest.(check int) "new peak" 65 (Sock_buf.level b);
+  Alcotest.(check int) "but old high water stands" 70 (Sock_buf.high_water b);
+  ignore (Sock_buf.push b 500);
+  Alcotest.(check int) "clamped push still counts" 100 (Sock_buf.high_water b)
+
+(* Model-equivalence suite: the Bigarray-backed ring versus a pure
+   int-level reference (the buffer's previous implementation), driven
+   through random push/drain/drain_all interleavings. Equivalence is
+   on return values and on every observable accessor, and the ring's
+   backing store must agree with its own counter (occupied_cells). *)
+module Ref_model = struct
+  type t = { capacity : int; mutable level : int }
+
+  let create ~capacity = { capacity; level = 0 }
+
+  let push t n =
+    let accepted = Stdlib.min n (t.capacity - t.level) in
+    t.level <- t.level + accepted;
+    accepted
+
+  let drain t n =
+    let removed = Stdlib.min n t.level in
+    t.level <- t.level - removed;
+    removed
+
+  let drain_all t =
+    let n = t.level in
+    t.level <- 0;
+    n
+end
+
+type op = Push of int | Drain of int | Drain_all
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun n -> Push n) (int_bound 300));
+        (4, map (fun n -> Drain n) (int_bound 300));
+        (1, return Drain_all);
+      ])
+
+let op_print = function
+  | Push n -> Printf.sprintf "Push %d" n
+  | Drain n -> Printf.sprintf "Drain %d" n
+  | Drain_all -> "Drain_all"
+
+let ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(pair int (list op_print))
+    QCheck.Gen.(pair (int_range 1 200) (list_size (int_bound 120) op_gen))
+
+let prop_model_equivalence =
+  QCheck.Test.make ~name:"ring buffer is observationally equal to int-level model"
+    ~count:500 ops_arb
+    (fun (cap, ops) ->
+      let b = Sock_buf.create ~capacity:cap in
+      let m = Ref_model.create ~capacity:cap in
+      let peak = ref 0 in
+      List.for_all
+        (fun op ->
+          let rb, rm =
+            match op with
+            | Push n -> (Sock_buf.push b n, Ref_model.push m n)
+            | Drain n -> (Sock_buf.drain b n, Ref_model.drain m n)
+            | Drain_all -> (Sock_buf.drain_all b, Ref_model.drain_all m)
+          in
+          peak := Stdlib.max !peak m.Ref_model.level;
+          rb = rm
+          && Sock_buf.level b = m.Ref_model.level
+          && Sock_buf.space b = cap - m.Ref_model.level
+          && Sock_buf.is_empty b = (m.Ref_model.level = 0)
+          && Sock_buf.is_full b = (m.Ref_model.level = cap)
+          && Sock_buf.high_water b = !peak
+          && Sock_buf.occupied_cells b = Sock_buf.level b)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "push and drain" `Quick test_push_drain;
     Alcotest.test_case "drain clamps to level" `Quick test_drain_more_than_level;
     Alcotest.test_case "argument validation" `Quick test_validation;
+    Alcotest.test_case "high-water mark" `Quick test_high_water;
     QCheck_alcotest.to_alcotest prop_level_bounded;
     QCheck_alcotest.to_alcotest prop_conservation;
+    QCheck_alcotest.to_alcotest prop_model_equivalence;
   ]

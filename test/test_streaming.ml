@@ -1,0 +1,256 @@
+(* Streaming-send correctness across all three servers: whatever the
+   transmit path, the document size, the interleaving of writable
+   events, or a peer vanishing mid-stream, every completed response
+   delivers exactly [Http.response_bytes] — no silent truncation on a
+   short write — and the server's [bytes_sent] ledger matches. *)
+
+open Sio_sim
+open Sio_kernel
+open Sio_httpd
+
+(* Default socket send-buffer capacity (Socket sets snd_cap = 65536 at
+   accept); responses above it cannot complete in one write call. *)
+let snd_cap = 65536
+
+type server_kind = Sthttpd | Sphhttpd | Shybrid
+
+let server_name = function
+  | Sthttpd -> "thttpd"
+  | Sphhttpd -> "phhttpd"
+  | Shybrid -> "hybrid"
+
+type server = {
+  listener : Socket.t;
+  stats : unit -> Server_stats.t;
+  stop : unit -> unit;
+}
+
+let start_server kind proc ~conn_config =
+  match kind with
+  | Sthttpd ->
+      let config = { Thttpd.default_config with Thttpd.conn = conn_config } in
+      let t =
+        match Thttpd.start ~proc ~backend:(Backend.epoll proc) ~config () with
+        | Ok t -> t
+        | Error `Emfile -> Alcotest.fail "thttpd start failed"
+      in
+      {
+        listener = Thttpd.listener t;
+        stats = (fun () -> Thttpd.stats t);
+        stop = (fun () -> Thttpd.stop t);
+      }
+  | Sphhttpd ->
+      let config = { Phhttpd.default_config with Phhttpd.conn = conn_config } in
+      let t =
+        match Phhttpd.start ~proc ~config () with
+        | Ok t -> t
+        | Error `Emfile -> Alcotest.fail "phhttpd start failed"
+      in
+      {
+        listener = Phhttpd.listener t;
+        stats = (fun () -> Phhttpd.stats t);
+        stop = (fun () -> Phhttpd.stop t);
+      }
+  | Shybrid ->
+      let config = { Hybrid.default_config with Hybrid.conn = conn_config } in
+      let t =
+        match Hybrid.start ~proc ~config () with
+        | Ok t -> t
+        | Error `Emfile -> Alcotest.fail "hybrid start failed"
+      in
+      {
+        listener = Hybrid.listener t;
+        stats = (fun () -> Hybrid.stats t);
+        stop = (fun () -> Hybrid.stop t);
+      }
+
+(* One simulated world: [n_conns] clients fetch a [doc_bytes] document
+   over [transmit]; clients whose index is in [aborts] cut the
+   connection after [abort_after] received bytes. Returns per-client
+   received counts and the final server stats. *)
+let run_world ~seed ~kind ~transmit ~doc_bytes ~n_conns ~aborts ~abort_after =
+  let engine = Engine.create ~seed () in
+  let host = Host.create ~engine ~costs:Cost_model.zero () in
+  let net = Sio_net.Network.create ~engine () in
+  let proc = Process.create ~host ~fd_limit:256 ~name:"server" () in
+  let conn_config = { Conn.default_config with Conn.doc_bytes; transmit } in
+  let srv = start_server kind proc ~conn_config in
+  let request = Http.build_request ~path:"/index.html" in
+  let expected = Http.response_bytes ~body_bytes:doc_bytes in
+  let getters =
+    List.init n_conns (fun i ->
+        let received = ref 0 in
+        let abort = List.mem i aborts in
+        let handlers =
+          {
+            Tcp.null_handlers with
+            Tcp.on_established =
+              (fun c ->
+                Tcp.client_send c ~bytes_len:(String.length request) ~payload:request);
+            on_bytes =
+              (fun c n ->
+                received := !received + n;
+                if abort && !received >= abort_after then Tcp.client_abort c
+                else if !received >= expected then Tcp.client_close c);
+          }
+        in
+        ignore (Tcp.connect ~net ~listener:srv.listener ~handlers ());
+        fun () -> !received)
+  in
+  Engine.run ~until:(Time.s 30) engine;
+  let stats = srv.stats () in
+  srv.stop ();
+  (List.map (fun g -> g ()) getters, stats, expected)
+
+(* --- deterministic cases: a 1 MB response must stream to completion
+   on every server, touching the partial-write path --- *)
+
+let test_large_response kind transmit () =
+  let doc_bytes = 1_048_576 in
+  let received, stats, expected =
+    run_world ~seed:3 ~kind ~transmit ~doc_bytes ~n_conns:2 ~aborts:[] ~abort_after:0
+  in
+  List.iteri
+    (fun i got ->
+      Alcotest.(check int) (Printf.sprintf "%s conn %d" (server_name kind) i) expected got)
+    received;
+  Alcotest.(check int) "both replied" 2 stats.Server_stats.replies;
+  Alcotest.(check int) "ledger exact" (2 * expected) stats.Server_stats.bytes_sent;
+  Alcotest.(check bool) "streamed across short writes" true
+    (stats.Server_stats.partial_writes >= 2)
+
+(* --- mid-stream abort must not wedge the server or corrupt its
+   neighbours --- *)
+
+let test_abort_mid_stream kind () =
+  let doc_bytes = 262_144 in
+  let received, stats, expected =
+    run_world ~seed:9 ~kind ~transmit:Conn.Ring ~doc_bytes ~n_conns:3 ~aborts:[ 1 ]
+      ~abort_after:snd_cap
+  in
+  List.iteri
+    (fun i got ->
+      if i <> 1 then
+        Alcotest.(check int)
+          (Printf.sprintf "%s surviving conn %d" (server_name kind) i)
+          expected got)
+    received;
+  Alcotest.(check int) "survivors replied" 2 stats.Server_stats.replies;
+  Alcotest.(check bool) "ledger bounded" true
+    (stats.Server_stats.bytes_sent >= 2 * expected
+    && stats.Server_stats.bytes_sent < 3 * expected)
+
+(* --- the 404 page never takes the zero-copy path: its body is
+   user-generated text, not page-cache data. Observable through the
+   kernel-memory ledger — a ring attach would reserve the ring's
+   pages, so a 404-only run in Ring mode must leave the same memory
+   peak as one in Copy mode, while a file hit in Ring mode must not. *)
+
+let mem_peak_after ~transmit ~path =
+  let engine = Engine.create ~seed:4 () in
+  let host = Host.create ~engine ~costs:Cost_model.zero () in
+  let net = Sio_net.Network.create ~engine () in
+  let proc = Process.create ~host ~fd_limit:64 ~name:"server" () in
+  let fs = Fs.create ~host () in
+  Fs.add_file fs ~path:"/big.html" ~bytes:262_144;
+  let conn_config =
+    { Conn.default_config with Conn.fs = Some fs; transmit }
+  in
+  let srv = start_server Sthttpd proc ~conn_config in
+  let request = Http.build_request ~path in
+  let handlers =
+    {
+      Tcp.null_handlers with
+      Tcp.on_established =
+        (fun c -> Tcp.client_send c ~bytes_len:(String.length request) ~payload:request);
+    }
+  in
+  ignore (Tcp.connect ~net ~listener:srv.listener ~handlers ());
+  Engine.run ~until:(Time.s 5) engine;
+  let stats = srv.stats () in
+  srv.stop ();
+  (host.Host.mem_peak, stats)
+
+let test_404_stays_on_copy () =
+  let peak_ring_404, stats_ring_404 = mem_peak_after ~transmit:Conn.Ring ~path:"/nope" in
+  let peak_copy_404, _ = mem_peak_after ~transmit:Conn.Copy ~path:"/nope" in
+  let peak_ring_hit, _ = mem_peak_after ~transmit:Conn.Ring ~path:"/big.html" in
+  Alcotest.(check int) "404 served" 1 stats_ring_404.Server_stats.replies;
+  Alcotest.(check int) "404 ledger"
+    (Http.response_bytes ~body_bytes:Conn.not_found_body_bytes)
+    stats_ring_404.Server_stats.bytes_sent;
+  Alcotest.(check int) "no ring reserved for a 404" peak_copy_404 peak_ring_404;
+  Alcotest.(check bool) "a file hit does reserve the ring" true
+    (peak_ring_hit > peak_ring_404)
+
+(* --- the conservation property, randomized ---
+
+   Random server, transmit mode, document size (well past the send
+   buffer), fan-in, and an optional mid-stream abort: completed
+   connections receive exactly the advertised response and the
+   server's bytes_sent ledger accounts for every accepted byte. *)
+
+let gen =
+  QCheck.Gen.(
+    let* kind = oneofl [ Sthttpd; Sphhttpd; Shybrid ] in
+    let* transmit = oneofl [ Conn.Copy; Conn.Sendfile; Conn.Ring; Conn.Selective ] in
+    let* doc_bytes = int_range 1 200_000 in
+    let* n_conns = int_range 1 4 in
+    let* abort = bool in
+    let* abort_idx = int_range 0 (n_conns - 1) in
+    let* seed = int_range 1 10_000 in
+    (* Only responses that outlive one write call can be cut mid-stream
+       deterministically; small documents may complete before the abort
+       lands, which would make the oracle ambiguous. *)
+    let aborts =
+      if abort && Http.response_bytes ~body_bytes:doc_bytes > snd_cap then [ abort_idx ]
+      else []
+    in
+    return (kind, transmit, doc_bytes, n_conns, aborts, seed))
+
+let print_case (kind, transmit, doc_bytes, n_conns, aborts, seed) =
+  Printf.sprintf "%s %s doc=%d conns=%d aborts=[%s] seed=%d" (server_name kind)
+    (match transmit with
+    | Conn.Copy -> "copy"
+    | Conn.Sendfile -> "sendfile"
+    | Conn.Ring -> "ring"
+    | Conn.Selective -> "selective")
+    doc_bytes n_conns
+    (String.concat ";" (List.map string_of_int aborts))
+    seed
+
+let prop_bytes_conserved =
+  QCheck.Test.make ~name:"completed responses deliver exactly response_bytes" ~count:40
+    (QCheck.make ~print:print_case gen)
+    (fun (kind, transmit, doc_bytes, n_conns, aborts, seed) ->
+      let received, stats, expected =
+        run_world ~seed ~kind ~transmit ~doc_bytes ~n_conns ~aborts
+          ~abort_after:(snd_cap / 2)
+      in
+      let survivors = List.filteri (fun i _ -> not (List.mem i aborts)) received in
+      let n_survivors = List.length survivors in
+      List.for_all (fun got -> got = expected) survivors
+      && stats.Server_stats.replies >= n_survivors
+      && stats.Server_stats.bytes_sent >= stats.Server_stats.replies * expected
+      && stats.Server_stats.bytes_sent <= n_conns * expected
+      && (aborts <> [] || stats.Server_stats.bytes_sent = n_conns * expected))
+
+let suite =
+  [
+    Alcotest.test_case "thttpd streams 1MB via copy" `Quick
+      (test_large_response Sthttpd Conn.Copy);
+    Alcotest.test_case "thttpd streams 1MB via ring" `Quick
+      (test_large_response Sthttpd Conn.Ring);
+    Alcotest.test_case "phhttpd streams 1MB via selective" `Quick
+      (test_large_response Sphhttpd Conn.Selective);
+    Alcotest.test_case "hybrid streams 1MB via sendfile" `Quick
+      (test_large_response Shybrid Conn.Sendfile);
+    Alcotest.test_case "thttpd survives mid-stream abort" `Quick
+      (test_abort_mid_stream Sthttpd);
+    Alcotest.test_case "phhttpd survives mid-stream abort" `Quick
+      (test_abort_mid_stream Sphhttpd);
+    Alcotest.test_case "hybrid survives mid-stream abort" `Quick
+      (test_abort_mid_stream Shybrid);
+    Alcotest.test_case "404 never takes the zero-copy path" `Quick test_404_stays_on_copy;
+    QCheck_alcotest.to_alcotest prop_bytes_conserved;
+  ]
