@@ -6,7 +6,7 @@
 JOBS ?= 0
 SMOKE_SCALE ?= 0.02
 
-.PHONY: build test lint lint-audit check bench bench-micro bench-check bench-smoke bench-wallclock clean
+.PHONY: build test lint lint-audit complexity-report complexity-check check bench bench-micro bench-check bench-smoke bench-wallclock clean
 
 build:
 	dune build
@@ -14,12 +14,18 @@ build:
 test:
 	dune runtest
 
-# Determinism / domain-safety / cost-accounting static analysis
-# (see DESIGN.md §7 "Statically-enforced invariants"). Non-zero exit
-# on any finding; suppress deliberate exceptions with
-# [@lint.ignore "reason"] at the site.
+# Determinism / domain-safety / cost-accounting / complexity static
+# analysis (see DESIGN.md §7 "Statically-enforced invariants").
+# Non-zero exit on any finding; suppress deliberate exceptions with
+# [@lint.ignore "reason"] at the site. Runs parse + rule passes across
+# cores-1 domains (--jobs 0); output is byte-identical to --jobs 1.
+# `time` prints the lint wall time for the CI log.
 lint: build
-	dune exec bin/sio_lint.exe -- lib bin bench examples
+	@start=$$(date +%s%N); \
+	dune exec bin/sio_lint.exe -- --jobs $(JOBS) lib bin bench examples; \
+	status=$$?; end=$$(date +%s%N); \
+	echo "lint wall time: $$(( (end - start) / 1000000 )) ms (jobs=$(JOBS))"; \
+	exit $$status
 
 # Suppression audit: list every [@lint.ignore] site and fail if any
 # of them is stale (its removal would produce zero findings — the
@@ -27,6 +33,22 @@ lint: build
 # invocation: --audit-ignores runs the stale-ignore check itself.
 lint-audit: build
 	dune exec bin/sio_lint.exe -- --audit-ignores lib bin bench examples
+
+# Refresh the committed whole-tree complexity certificate: per-symbol
+# host (structural) and charged (simulated-CPU) cost summaries for
+# every definition the interpreter can see. CI diffs a fresh run
+# against this file, so any change to an inferred bound is visible in
+# review even when it stays inside its annotation.
+complexity-report: build
+	dune exec bin/sio_lint.exe -- --complexity-report lib bin bench examples \
+	  > test/lint_fixtures/complexity_report.txt
+
+# Fail if the committed complexity certificate is stale relative to
+# the tree (regenerate with `make complexity-report`).
+complexity-check: build
+	dune exec bin/sio_lint.exe -- --complexity-report lib bin bench examples \
+	  > /tmp/complexity_report.txt
+	diff -u test/lint_fixtures/complexity_report.txt /tmp/complexity_report.txt
 
 # Tier-1 verify plus lint (including the suppression audit) and a tiny
 # wall-clock smoke: build + full test suite + static analysis +
@@ -36,6 +58,7 @@ check:
 	dune build && dune runtest
 	$(MAKE) lint
 	$(MAKE) lint-audit
+	$(MAKE) complexity-check
 	$(MAKE) bench-check
 	$(MAKE) bench-smoke
 

@@ -10,14 +10,19 @@ open Sio_analysis
 
 let usage =
   "usage: sio_lint [--rule ID]... [--list-rules] [--format text|json|sarif]\n\
-  \       [--callgraph json|dot] [--audit-ignores] [path]...\n\
+  \       [--callgraph json|dot] [--audit-ignores] [--jobs N]\n\
+  \       [--complexity-report] [path]...\n\
    Static analysis for scalanio: determinism, domain-safety and\n\
    cost-accounting invariants. With no paths, scans lib bin bench\n\
    examples under the current directory.\n\
   \  --callgraph     dump the resolved cross-module call graph and exit\n\
   \  --audit-ignores list every [@lint.ignore] suppression site, then run the\n\
   \                  stale-ignore check over the same parse (exit 1 if any\n\
-  \                  suppression has outlived its hazard)"
+  \                  suppression has outlived its hazard)\n\
+  \  --jobs N        parallelize per-file parsing and rule passes over N domains\n\
+  \                  (0 = cores-1, 1 = sequential; output is byte-identical)\n\
+  \  --complexity-report\n\
+  \                  print the whole-tree symbolic complexity report and exit 0"
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
@@ -29,6 +34,8 @@ let () =
   let list_rules = ref false in
   let callgraph = ref None in
   let audit_ignores = ref false in
+  let jobs = ref 1 in
+  let complexity_report = ref false in
   let paths = ref [] in
   let bad_usage fmt =
     Printf.ksprintf
@@ -61,6 +68,15 @@ let () =
         Arg.Set audit_ignores,
         " list every [@lint.ignore] site (file:line:col: reason) and fail if any is \
          stale" );
+      ( "--jobs",
+        Arg.Int
+          (fun n ->
+            if n < 0 then bad_usage "--jobs expects a non-negative count (got %d)" n
+            else jobs := n),
+        "N parallel per-file passes over N domains (0 = cores-1, default 1)" );
+      ( "--complexity-report",
+        Arg.Set complexity_report,
+        " print the whole-tree symbolic complexity report, then exit" );
       ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
     ]
   in
@@ -93,14 +109,18 @@ let () =
           ps;
         ps
   in
+  if !complexity_report then begin
+    print_string (Driver.complexity_report ~jobs:!jobs roots);
+    exit 0
+  end;
   match !callgraph with
   | Some fmt ->
-      let loaded = Driver.load roots in
+      let loaded = Driver.load ~jobs:!jobs roots in
       let graph = Callgraph.build (Symbol_index.build loaded.Driver.parsed) in
       print_endline
         (match fmt with "dot" -> Callgraph.to_dot graph | _ -> Callgraph.to_json graph)
   | None ->
-      let loaded = Driver.load roots in
+      let loaded = Driver.load ~jobs:!jobs roots in
       if !audit_ignores then begin
         (* One parse serves both halves of the audit: the suppression
            listing and the stale-ignore check it implies. *)
@@ -114,7 +134,7 @@ let () =
         let stale =
           match Driver.find_rule "stale-ignore" with Some r -> [ r ] | None -> []
         in
-        let findings = Driver.analyze_loaded ~rules:stale loaded in
+        let findings = Driver.analyze_loaded ~rules:stale ~jobs:!jobs loaded in
         List.iter (fun f -> print_endline (Finding.to_string f)) findings;
         if findings <> [] then begin
           Printf.eprintf "sio_lint: %d stale suppression(s)\n" (List.length findings);
@@ -122,7 +142,7 @@ let () =
         end
       end
       else begin
-        let findings = Driver.analyze_loaded ~rules loaded in
+        let findings = Driver.analyze_loaded ~rules ~jobs:!jobs loaded in
         (match !format with
         | Text -> List.iter (fun f -> print_endline (Finding.to_string f)) findings
         | Json ->

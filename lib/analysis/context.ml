@@ -73,8 +73,11 @@ type t = {
   files : (string * Ppxlib.structure) list;
       (** the parsed inputs the index was built from; audit-mode rules
           substitute a stripped file and re-derive their state *)
-  index : Symbol_index.t;
+  index : Symbol_index.t Lazy.t;
+      (** lazy so AST-only rules ([--rule nondet-clock] on one file)
+          never pay for whole-program indexing *)
   graph : Callgraph.t Lazy.t;
+  complexity : Complexity.result Lazy.t;
   audit : bool;
   charging : SSet.t Lazy.t;
   domain_witness : string SMap.t Lazy.t;
@@ -82,8 +85,11 @@ type t = {
 }
 
 let build files =
-  let index = Symbol_index.build files in
-  let graph = lazy (Callgraph.build index) in
+  let index = lazy (Symbol_index.build files) in
+  let graph = lazy (Callgraph.build (Lazy.force index)) in
+  let complexity =
+    lazy (Complexity.analyze ~graph:(Lazy.force graph) (Lazy.force index))
+  in
   let charging =
     lazy
       (let g = Lazy.force graph in
@@ -92,7 +98,7 @@ let build files =
            (fun (s : Symbol_index.symbol) ->
              if List.exists (mention_matches charge_primitives) s.mentions then Some s.uid
              else None)
-           index.symbols
+           (Lazy.force index).symbols
        in
        let rec grow set =
          let set' =
@@ -116,7 +122,7 @@ let build files =
            (fun (s : Symbol_index.symbol) ->
              if List.exists (mention_matches spawn_primitives) s.mentions then Some s.uid
              else None)
-           index.symbols
+           (Lazy.force index).symbols
        in
        Reachability.closure ~succ:(Callgraph.callees g) ~roots)
   in
@@ -130,7 +136,7 @@ let build files =
              let scope = Symbol_index.scope_of s in
              List.fold_left
                (fun m (w : Symbol_index.write) ->
-                 Symbol_index.resolve_in index ~scope w.target
+                 Symbol_index.resolve_in (Lazy.force index) ~scope w.target
                  |> List.filter (fun (b : Symbol_index.symbol) -> b.mutable_ctor <> None)
                  |> List.fold_left
                       (fun m (b : Symbol_index.symbol) ->
@@ -150,18 +156,20 @@ let build files =
                       m)
                m s.writes
        in
-       List.fold_left add SMap.empty index.symbols
+       List.fold_left add SMap.empty (Lazy.force index).symbols
        |> SMap.map
             (List.sort (fun a b ->
                  compare
                    (a.writer_file, a.wline, a.wcol, a.op)
                    (b.writer_file, b.wline, b.wcol, b.op))))
   in
-  { files; index; graph; audit = false; charging; domain_witness; domain_writes }
+  { files; index; graph; complexity; audit = false; charging; domain_witness; domain_writes }
 
 let of_file path str = build [ (path, str) ]
 let with_audit t = { t with audit = true }
+let index t = Lazy.force t.index
 let graph t = Lazy.force t.graph
+let complexity t = Lazy.force t.complexity
 let charging t = Lazy.force t.charging
 let domain_witness t = Lazy.force t.domain_witness
 let domain_writes t = Lazy.force t.domain_writes

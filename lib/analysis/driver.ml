@@ -2,7 +2,15 @@
    context (symbol index + call graph + reachability fixpoints) once,
    and run the rule set over every file against it. Findings are
    sorted (file, line, col, rule) so output is stable no matter how
-   the filesystem enumerates directories. *)
+   the filesystem enumerates directories.
+
+   Parallelism ([?jobs]) is deterministic by construction: parsing is
+   a per-file map (reads overlap; the lex+parse is mutex-serialized,
+   see [parse_mutex]) whose results are merged in path order, and
+   before rule passes fan out, every selected rule's [warm] hook
+   forces the shared fixpoints it reads — workers then only read
+   settled state, and the final sort makes the output byte-identical
+   to a sequential run. *)
 
 let base_rules =
   [
@@ -13,6 +21,8 @@ let base_rules =
     Rule_arena_slot.rule;
     Rule_nondet_taint.rule;
     Rule_resource_pairing.rule;
+    Rule_scan_complexity.rule;
+    Rule_charge_linearity.rule;
   ]
 
 (* stale-ignore shadow-runs the other rules with suppressions
@@ -22,12 +32,21 @@ let all_rules = base_rules @ [ Rule_stale_ignore.make ~others:base_rules ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.Rule.id id) all_rules
 
+(* ppxlib's vendored compiler-libs lexer keeps global mutable state
+   (comment/string buffers), so two domains lexing at once corrupt
+   each other — only the file reads overlap across the pool; the
+   parse itself is serialized. *)
+let parse_mutex = Mutex.create ()
+
 let parse_impl path =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lexbuf = Lexing.from_channel ic in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Mutex.protect parse_mutex (fun () ->
+      let lexbuf = Lexing.from_string source in
       Lexing.set_filename lexbuf path;
       Ppxlib.Parse.implementation lexbuf)
 
@@ -84,27 +103,62 @@ let files_under paths =
 
 type loaded = { parsed : (string * Ppxlib.structure) list; errors : Finding.t list }
 
+(* [jobs]: 1 = sequential; 0 = one domain per core minus one (the
+   [Domain_pool] default); n > 1 = exactly n domains. *)
+let effective_jobs = function
+  | Some 1 | None -> 1
+  | Some 0 -> Sio_sim.Domain_pool.default_size ()
+  | Some n -> n
+
+let pooled ~jobs ~f xs =
+  Sio_sim.Domain_pool.with_pool ~size:jobs (fun pool ->
+      Sio_sim.Domain_pool.map pool ~f xs)
+
 (* A file the linter cannot parse is itself a finding: the tree must
-   stay analyzable. Unparsable files are excluded from the context. *)
-let load paths =
+   stay analyzable. Unparsable files are excluded from the context.
+   Parse results are [Result]-wrapped inside the pool so an exception
+   becomes the same finding text a sequential run produces instead of
+   tearing down the whole map. *)
+let load ?jobs paths =
+  let files = files_under paths in
+  let jobs = effective_jobs jobs in
+  let results =
+    if jobs <= 1 || List.length files < 2 then
+      List.map (fun file -> (file, try Ok (parse_impl file) with e -> Error e)) files
+    else
+      pooled ~jobs
+        ~f:(fun file -> (file, try Ok (parse_impl file) with e -> Error e))
+        files
+  in
   let parsed, errors =
     List.fold_left
-      (fun (ok, errs) file ->
-        match parse_impl file with
-        | str -> ((file, str) :: ok, errs)
-        | exception e -> (ok, parse_error_finding file e :: errs))
-      ([], []) (files_under paths)
+      (fun (ok, errs) (file, r) ->
+        match r with
+        | Ok str -> ((file, str) :: ok, errs)
+        | Error e -> (ok, parse_error_finding file e :: errs))
+      ([], []) results
   in
   { parsed = List.rev parsed; errors = List.rev errors }
 
 let run_rules rules ctx (file, str) =
   List.concat_map (fun r -> r.Rule.check ~ctx ~path:file str) rules
 
-let analyze_loaded ?(rules = all_rules) { parsed; errors } =
+let analyze_loaded ?(rules = all_rules) ?jobs { parsed; errors } =
   let ctx = Context.build parsed in
-  errors @ List.concat_map (run_rules rules ctx) parsed |> List.sort Finding.compare
+  let jobs = effective_jobs jobs in
+  let per_file =
+    if jobs <= 1 || List.length parsed < 2 then
+      List.concat_map (run_rules rules ctx) parsed
+    else begin
+      (* settle every shared fixpoint the selected rules read before
+         fanning out; the workers then only read *)
+      List.iter (fun r -> r.Rule.warm ctx) rules;
+      pooled ~jobs ~f:(run_rules rules ctx) parsed |> List.concat
+    end
+  in
+  errors @ per_file |> List.sort Finding.compare
 
-let analyze_paths ?rules paths = analyze_loaded ?rules (load paths)
+let analyze_paths ?rules ?jobs paths = analyze_loaded ?rules ?jobs (load ?jobs paths)
 
 (* Single-file analysis: the context contains just this file, so the
    interprocedural rules stay conservative about everything outside
@@ -116,3 +170,9 @@ let analyze_file ?(rules = all_rules) path =
       let ctx = Context.of_file path str in
       run_rules rules ctx (path, str) |> List.sort Finding.compare
   | exception e -> [ parse_error_finding path e ]
+
+(* The committed whole-tree complexity report over [paths]. *)
+let complexity_report ?jobs paths =
+  let { parsed; errors = _ } = load ?jobs paths in
+  let ctx = Context.build parsed in
+  Complexity.report (Context.index ctx) (Context.complexity ctx)

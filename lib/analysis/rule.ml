@@ -10,7 +10,13 @@ type t = {
   id : string;  (** stable rule id, used by [--rule] and in reports *)
   doc : string;  (** one-line description for [--list-rules] *)
   check : ctx:Context.t -> path:string -> structure -> Finding.t list;
+  warm : Context.t -> unit;
+      (** force every shared fixpoint/cache this rule's [check] reads,
+          so parallel per-file passes only ever read settled state.
+          [warm_nothing] for purely syntactic rules. *)
 }
+
+let warm_nothing (_ : Context.t) = ()
 
 (* The escape hatch. An attribute named [lint.ignore] on an
    expression or on a let-binding suppresses every rule for the whole

@@ -121,4 +121,4 @@ let check ~ctx:_ ~path:_ str =
   visitor#structure str;
   List.rev !acc
 
-let rule = { Rule.id; doc; check }
+let rule = { Rule.id; doc; check; warm = Rule.warm_nothing }

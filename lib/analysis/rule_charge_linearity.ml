@@ -1,0 +1,148 @@
+(* charge-linearity: DESIGN.md section 5's bulk-charging rule, made
+   static.
+
+   The cost model keeps simulated-CPU accounting honest at million-
+   connection scale by charging skipped populations in bulk
+   ([Cost_model.charge_batch ~count]) instead of walking them. Two
+   ways to break that discipline survive the type checker:
+
+   - a [charge_batch] whose [~count] has no inferable size class — the
+     bulk charge then certifies nothing about which population was
+     skipped; and a [charge_batch] *inside* a non-constant loop, which
+     re-charges the skipped population once per iteration (the total
+     becomes a product, not the linear bulk charge the name promises).
+
+   - inside a certified scan path, a loop of inferred class k whose
+     body charges a non-constant amount per iteration: total charged
+     cost k * c is superlinear in the loop's own population, which is
+     exactly the shape PR 5 removed from the scan paths.
+
+   The per-iteration check is scoped to definitions carrying a
+   [@complexity] annotation: those are the certified scan paths where
+   the linearity contract holds. Uncertified orchestration code (the
+   hybrid event loop dispatching top-cost handlers) is allowed to
+   charge whatever its handlers cost — certifying it is what the
+   annotation opt-in is for. The [~count]-class check applies
+   everywhere: an unclassifiable bulk charge is meaningless wherever
+   it appears.
+
+   Like scan-complexity, this rule reads the shared whole-program
+   summaries and does not honor [@lint.ignore], so audit mode needs no
+   re-derivation. *)
+
+module C = Complexity
+module Df = Dataflow
+module SMap = Map.Make (String)
+
+let id = "charge-linearity"
+
+let doc =
+  "charge_batch ~count must have an inferable size class and sit outside loops; \
+   inside an annotated scan path, a loop of class k must charge O(1) per \
+   iteration (total O(k)) — bulk-charge skipped populations outside the loop"
+
+let loc_step (loc : Ppxlib.Location.t) ~file what =
+  let p = loc.loc_start in
+  { Finding.sfile = file; sline = p.pos_lnum; scol = p.pos_cnum - p.pos_bol; swhat = what }
+
+let check ~ctx ~path (_ : Ppxlib.structure) =
+  let index = Context.index ctx in
+  let r = Context.complexity ctx in
+  let annots =
+    List.fold_left
+      (fun m (s : Symbol_index.symbol) ->
+        match s.annot with Some _ -> SMap.add s.uid s m | None -> m)
+      SMap.empty
+      (Symbol_index.file_symbols index path)
+  in
+  let batch_findings =
+    r.C.batches
+    |> List.filter (fun (b : C.batch_site) -> String.equal b.bfile path)
+    |> List.concat_map (fun (b : C.batch_site) ->
+           let top_count =
+             match b.count_class with
+             | C.Top steps ->
+                 let flow =
+                   loc_step b.bloc ~file:path "charge_batch ~count" :: steps
+                 in
+                 [
+                   Finding.make ~flow:(Df.clip flow) ~loc:b.bloc ~rule:id
+                     (Printf.sprintf
+                        "charge_batch ~count has no inferable size class (%s); \
+                         bind the count to a named population size (a vocabulary \
+                         name like idle_total, or a Length of the skipped table) \
+                         so the bulk charge certifies what was skipped"
+                        (C.render_cost_origin b.count_class));
+                 ]
+             | C.Poly _ -> []
+           in
+           let in_loop =
+             if (not (C.le b.loop_class C.const)) && SMap.mem b.buid annots then
+               let flow =
+                 [
+                   loc_step b.bloc ~file:path
+                     (Printf.sprintf "charge_batch inside a loop of class %s"
+                        (C.render_cost b.loop_class));
+                 ]
+                 @ C.witness_steps b.loop_class
+               in
+               [
+                 Finding.make ~flow:(Df.clip flow) ~loc:b.bloc ~rule:id
+                   (Printf.sprintf
+                      "charge_batch of class %s sits inside a loop of class %s: \
+                       the skipped population is re-charged every iteration, \
+                       making the total %s * %s instead of a single bulk charge; \
+                       hoist the charge_batch out of the loop"
+                      (C.render_cost b.count_class)
+                      (C.render_cost b.loop_class)
+                      (C.render_cost b.loop_class)
+                      (C.render_cost b.count_class));
+               ]
+             else []
+           in
+           top_count @ in_loop)
+  in
+  let loop_findings =
+    r.C.loops
+    |> List.filter (fun (l : C.loop_site) -> String.equal l.lfile path)
+    |> List.concat_map (fun (l : C.loop_site) ->
+           match SMap.find_opt l.luid annots with
+           | None -> []
+           | Some sym -> (
+               match (l.lclass, l.body_charged) with
+               | C.Poly _, _
+                 when C.le l.lclass C.const ->
+                   []
+               | C.Poly _, body when not (C.le body C.const) ->
+                   let flow =
+                     Df.clip
+                       (loc_step l.lloc ~file:path
+                          (Printf.sprintf "%s loop, class %s" l.lhead
+                             (C.render_cost l.lclass))
+                       :: C.witness_steps body)
+                   in
+                   [
+                     Finding.make ~flow ~loc:l.lloc ~rule:id
+                       (Printf.sprintf
+                          "in certified %s, this %s loop of class %s charges %s \
+                           per iteration (total %s): per-iteration charge must \
+                           be O(1) — charge skipped work in bulk outside the \
+                           loop (DESIGN.md section 5). flow: %s"
+                          (String.concat "." sym.Symbol_index.qname)
+                          l.lhead
+                          (C.render_cost l.lclass)
+                          (C.render_cost body)
+                          (C.render_cost
+                             (C.mult
+                                ~step:
+                                  (loc_step l.lloc ~file:path
+                                     (Printf.sprintf "%s loop" l.lhead))
+                                l.lclass body))
+                          (Df.path_to_string flow));
+                   ]
+               | _ -> []))
+  in
+  List.sort Finding.compare (batch_findings @ loop_findings)
+
+let warm ctx = ignore (Context.complexity ctx)
+let rule = { Rule.id; doc; check; warm }

@@ -55,4 +55,4 @@ let check ~ctx:_ ~path str =
     List.rev !acc
   end
 
-let rule = { Rule.id; doc; check }
+let rule = { Rule.id; doc; check; warm = Rule.warm_nothing }

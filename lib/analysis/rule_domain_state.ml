@@ -26,7 +26,7 @@ let doc =
 
 let check ~ctx ~path _str =
   let writes = Context.domain_writes ctx in
-  Symbol_index.file_symbols ctx.Context.index path
+  Symbol_index.file_symbols (Context.index ctx) path
   |> List.filter_map (fun (b : Symbol_index.symbol) ->
          match b.mutable_ctor with
          | None -> None
@@ -55,4 +55,5 @@ let check ~ctx ~path _str =
                            more))
              end)
 
-let rule = { Rule.id; doc; check }
+let warm ctx = ignore (Context.domain_writes ctx)
+let rule = { Rule.id; doc; check; warm }

@@ -435,15 +435,16 @@ let compute (index : Symbol_index.t) (graph : Callgraph.t) =
 
 (* One computation per context: rules run per file, the analysis is
    whole-program. Physical equality is the right cache key — the
-   driver builds exactly one context per run. (Single-threaded by
-   construction: the linter never runs under Domain_pool.) *)
+   driver builds exactly one context per run. Parallel per-file
+   passes are safe because the driver warms this cache before fanning
+   out: workers only ever hit the [c == ctx] read path. *)
 let cache : (Context.t * Finding.t list) option ref = ref None
 
 let findings_for ctx =
   match !cache with
   | Some (c, fs) when c == ctx -> fs
   | _ ->
-      let fs = compute ctx.Context.index (Context.graph ctx) in
+      let fs = compute (Context.index ctx) (Context.graph ctx) in
       cache := Some (ctx, fs);
       fs
 
@@ -466,4 +467,5 @@ let check ~ctx ~path str =
   in
   List.filter (fun (f : Finding.t) -> String.equal f.file path) findings
 
-let rule = { Rule.id; doc; check }
+let warm ctx = ignore (findings_for ctx)
+let rule = { Rule.id; doc; check; warm }

@@ -188,7 +188,7 @@ let is_toplevel_effect (s : Symbol_index.symbol) =
    provenance (the most entry-ward chain). Deterministic: the table
    is swept in sorted uid order. *)
 let acquire_flow ctx ~path (pr : pair) =
-  let index = ctx.Context.index in
+  let index = Context.index ctx in
   let graph = Context.graph ctx in
   let fact = "acquire" in
   let seeds uid =
@@ -240,7 +240,7 @@ let check ~ctx ~path str =
   else begin
     let graph = Context.graph ctx in
     let referenced = lazy (referenced_uids graph) in
-    let syms = Symbol_index.file_symbols ctx.Context.index path in
+    let syms = Symbol_index.file_symbols (Context.index ctx) path in
     acquires
     |> List.filter (fun ((pr : pair), _, _) -> not (String.equal pr.owner m))
     |> List.filter_map (fun ((pr : pair), loc, p) ->
@@ -291,4 +291,5 @@ let check ~ctx ~path str =
            else None)
   end
 
-let rule = { Rule.id; doc; check }
+let warm ctx = ignore (Context.graph ctx)
+let rule = { Rule.id; doc; check; warm }

@@ -1,0 +1,135 @@
+(* scan-complexity: checked-not-trusted [@complexity] annotations.
+
+   The paper's central invariant — event-delivery cost scales with the
+   *active* population, never the interest set — is only as durable as
+   whatever enforces it. This rule makes every backend scan/wait entry
+   point carry a [@complexity "O(...)"] annotation and makes the
+   annotation a proof obligation, not a comment: the [Complexity]
+   interpreter re-derives the structural (host) cost of the body on
+   every run, and the annotation must match the inferred summary
+   *exactly* — in both directions. An inferred cost the annotation
+   does not entail is a regression (some loop walks a population the
+   contract excludes: the finding's codeFlow names that loop). An
+   annotation the inferred cost does not entail is stale or padded
+   (claiming O(interests) for an O(active) body would quietly license
+   a future regression up to the looser bound), and is reported too —
+   "zero unchecked or stale annotations" is the acceptance bar.
+
+   Any annotated definition is checked; the entry points in
+   [Complexity.entry_points] are additionally *required* to be
+   annotated. The charged dimension is deliberately not compared
+   against the annotation: bulk-charging the analytically-skipped idle
+   population makes charged cost O(interests) on paths whose
+   structural cost is O(active) — that split is the point, and
+   charge-linearity polices the charged side.
+
+   Attributes survive the stale-ignore shadow run's suppression
+   stripping and this rule does not honor [@lint.ignore] (a suppressed
+   broken invariant is still broken), so audit mode needs no
+   re-derivation: the shared whole-program summaries are the truth in
+   both modes. *)
+
+module C = Complexity
+module Df = Dataflow
+module SMap = Map.Make (String)
+
+let id = "scan-complexity"
+
+let doc =
+  "backend scan/wait entry points must carry a [@complexity \"O(...)\"] annotation \
+   that exactly matches the inferred structural cost (missing, unparseable, \
+   violated and stale annotations are all findings)"
+
+let symbol_step (s : Symbol_index.symbol) =
+  {
+    Finding.sfile = s.file;
+    sline = s.line;
+    scol = s.col;
+    swhat =
+      Printf.sprintf "%s %s"
+        (if C.is_entry_point s then "entry point" else "certified definition")
+        (String.concat "." s.qname);
+  }
+
+let check ~ctx ~path (_ : Ppxlib.structure) =
+  let index = Context.index ctx in
+  let r = Context.complexity ctx in
+  Symbol_index.file_symbols index path
+  |> List.concat_map (fun (s : Symbol_index.symbol) ->
+         let entry = C.is_entry_point s in
+         let inferred =
+           match SMap.find_opt s.uid r.C.summaries with
+           | Some sum -> sum.C.host
+           | None -> C.const
+         in
+         match s.annot with
+         | None ->
+             if entry then
+               [
+                 Finding.make ~loc:s.loc ~rule:id
+                   (Printf.sprintf
+                      "entry point %s has no [@complexity] annotation; inferred \
+                       structural cost is %s — annotate the binding with \
+                       [@complexity \"%s\"] so the bound is checked on every lint \
+                       run"
+                      (String.concat "." s.qname)
+                      (C.render_cost_origin inferred)
+                      (C.render_cost inferred));
+               ]
+             else []
+         | Some raw -> (
+             match C.parse_annot raw with
+             | None ->
+                 [
+                   Finding.make ~loc:s.loc ~rule:id
+                     (Printf.sprintf
+                        "unparseable [@complexity %S] on %s: expected \
+                         \"O(term + term)\" with terms multiplying 1, active, \
+                         ready, interests, conns, slots (n_-prefixed spellings \
+                         accepted)"
+                        raw
+                        (String.concat "." s.qname));
+                 ]
+             | Some annot ->
+                 if not (C.le inferred annot) then begin
+                   let culprit, steps =
+                     match C.first_violation inferred annot with
+                     | Some (m, p) -> (m, p)
+                     | None -> (C.render_cost inferred, [])
+                   in
+                   let flow = Df.clip (symbol_step s :: steps) in
+                   [
+                     Finding.make ~flow ~loc:s.loc ~rule:id
+                       (Printf.sprintf
+                          "%s is annotated [@complexity %S] but its inferred \
+                           structural cost %s is not entailed: %s arises from %s. \
+                           flow: %s"
+                          (String.concat "." s.qname)
+                          raw
+                          (C.render_cost inferred)
+                          culprit
+                          (match steps with
+                          | st :: _ ->
+                              Printf.sprintf "%s (%s:%d)" st.Finding.swhat st.sfile
+                                st.sline
+                          | [] -> "the function body")
+                          (Df.path_to_string flow));
+                   ]
+                 end
+                 else if not (C.le annot inferred) then
+                   [
+                     Finding.make
+                       ~flow:[ symbol_step s ]
+                       ~loc:s.loc ~rule:id
+                       (Printf.sprintf
+                          "stale annotation on %s: [@complexity %S] is looser than \
+                           the inferred structural cost %s; tighten the annotation \
+                           to the inferred bound so it cannot mask a future \
+                           regression"
+                          (String.concat "." s.qname)
+                          raw (C.render_cost inferred));
+                   ]
+                 else []))
+
+let warm ctx = ignore (Context.complexity ctx)
+let rule = { Rule.id; doc; check; warm }

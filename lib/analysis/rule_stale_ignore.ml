@@ -52,4 +52,5 @@ let make ~others =
              })
     end
   in
-  { Rule.id; doc; check }
+  let warm ctx = List.iter (fun (r : Rule.t) -> r.warm ctx) others in
+  { Rule.id; doc; check; warm }

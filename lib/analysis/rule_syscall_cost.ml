@@ -96,4 +96,8 @@ let check ~ctx ~path str =
     List.rev !acc
   end
 
-let rule = { Rule.id; doc; check }
+let warm ctx =
+  ignore (Context.charging ctx);
+  ignore (Context.graph ctx)
+
+let rule = { Rule.id; doc; check; warm }

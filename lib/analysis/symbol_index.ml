@@ -20,6 +20,25 @@ let ignore_name = "lint.ignore"
 let has_ignore (attrs : attributes) =
   List.exists (fun (a : attribute) -> String.equal a.attr_name.txt ignore_name) attrs
 
+(* [@complexity "O(...)"] payload of a binding, verbatim. A present
+   attribute with a non-string payload is kept as a sentinel the
+   annotation parser rejects, so "annotated but malformed" is
+   distinguishable from "unannotated". *)
+let complexity_annot (attrs : attributes) =
+  List.find_map
+    (fun (a : attribute) ->
+      if not (String.equal a.attr_name.txt "complexity") then None
+      else
+        match a.attr_payload with
+        | PStr
+            [ { pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _ } ] ->
+            Some s
+        | _ -> Some "<malformed payload>")
+    attrs
+
 let rec path_of_lid = function
   | Lident s -> [ s ]
   | Ldot (l, s) -> path_of_lid l @ [ s ]
@@ -50,6 +69,7 @@ type symbol = {
   writes : write list;
   mutable_ctor : string option;  (** Some "ref" etc. when the RHS is mutable *)
   suppressed : bool;  (** the binding carries [@lint.ignore] *)
+  annot : string option;  (** the [@complexity "..."] payload, if any *)
 }
 
 module SMap = Map.Make (String)
@@ -218,6 +238,7 @@ let build files =
         writes;
         mutable_ctor = (match named with Some _ -> mutable_head vb.pvb_expr | None -> None);
         suppressed = has_ignore vb.pvb_attributes;
+        annot = complexity_annot vb.pvb_attributes;
       }
       :: !acc
   in
@@ -242,6 +263,7 @@ let build files =
         writes;
         mutable_ctor = None;
         suppressed = false;
+        annot = None;
       }
       :: !acc
   in

@@ -202,7 +202,7 @@ let charge_idle t count =
    tail in bulk. Charged nanoseconds and counters are identical to the
    full walk — only the charge *order* within the scan differs, and
    Cpu.consume is additive with no engine interleaving mid-scan. *)
-let scan t ~max_results =
+let[@complexity "O(active)"] scan t ~max_results =
   Ready_buffer.clear t.ready;
   let total = Interest_table.length t.table in
   if Fd_map.length t.active = 0 then begin
@@ -237,7 +237,7 @@ let scan t ~max_results =
     Ready_buffer.length t.ready
   end
 
-let dp_poll t ~max_results ~timeout ~k =
+let[@complexity "O(active)"] dp_poll t ~max_results ~timeout ~k =
   check_open t;
   if max_results <= 0 then invalid_arg "Devpoll.dp_poll: max_results must be positive";
   let costs = t.host.Host.costs in

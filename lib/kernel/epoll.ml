@@ -130,7 +130,7 @@ let ctl_del t ~fd =
 
 (* Pop up to [max] valid ready entries, validating each against the
    driver: O(ready), never O(interests). *)
-let harvest t ~max_events =
+let[@complexity "O(ready)"] harvest t ~max_events =
   let results = ref [] in
   let n = ref 0 in
   let requeue = ref [] in
@@ -179,7 +179,7 @@ let harvest t ~max_events =
     !requeue;
   List.rev !results
 
-let wait t ~max_events ~timeout ~k =
+let[@complexity "O(ready)"] wait t ~max_events ~timeout ~k =
   if t.closed then invalid_arg "Epoll.wait: closed";
   if max_events <= 0 then invalid_arg "Epoll.wait: max_events must be positive";
   let costs = t.host.Host.costs in

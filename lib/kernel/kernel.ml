@@ -194,7 +194,7 @@ let fcntl_clearsig
       Rt_signal.clear_signal (Process.rt_queue proc) ~socket:sock ~fd;
       Ok ()
 
-let poll proc
+let[@complexity "O(interests)"] poll proc
     ~interests ~timeout ~k =
   Poll.wait ~host:(Process.host proc)
     ~lookup:(Process.lookup_socket proc)
@@ -223,7 +223,7 @@ let devpoll_alloc_map
       Devpoll.alloc_result_map dev ~slots;
       Ok ()
 
-let devpoll_wait
+let[@complexity "O(active)"] devpoll_wait
     proc fd ~max_results ~timeout ~k =
   match Process.lookup_devpoll proc fd with
   | None -> Error `Ebadf
@@ -231,11 +231,11 @@ let devpoll_wait
       Devpoll.dp_poll dev ~max_results ~timeout ~k;
       Ok ()
 
-let sigwaitinfo
+let[@complexity "O(ready)"] sigwaitinfo
     proc ~k =
   Rt_signal.sigwaitinfo (Process.rt_queue proc) ~k
 
-let sigtimedwait4
+let[@complexity "O(ready)"] sigtimedwait4
     proc ~max ~timeout ~k =
   Rt_signal.sigtimedwait4 (Process.rt_queue proc) ~max ~timeout ~k
 

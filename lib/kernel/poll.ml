@@ -16,7 +16,7 @@ let scan_cost ~host ~n_interests =
    missing descriptors only cost the copy-in. Results accumulate into
    the caller's reusable buffer (cleared here), so the rescan-per-wake
    loop below allocates nothing per pass. *)
-let scan ~host ~lookup ~interests ~ready =
+let[@complexity "O(interests)"] scan ~host ~lookup ~interests ~ready =
   let costs = host.Host.costs in
   Ready_buffer.clear ready;
   List.iter
@@ -32,7 +32,7 @@ let scan ~host ~lookup ~interests ~ready =
     interests;
   Ready_buffer.length ready
 
-let wait ~host ~lookup ~interests ~timeout ~k =
+let[@complexity "O(interests)"] wait ~host ~lookup ~interests ~timeout ~k =
   let costs = host.Host.costs in
   let counters = host.Host.counters in
   counters.Host.syscalls <- counters.Host.syscalls + 1;
@@ -186,7 +186,7 @@ module Pset = struct
      have live sockets, else they could not be idle-certified), active
      entries are probed individually in insertion order so results
      match [scan] byte for byte. *)
-  let scan_set s =
+  let[@complexity "O(active)"] scan_set s =
     let costs = s.host.Host.costs in
     let counters = s.host.Host.counters in
     Ready_buffer.clear s.ready;
@@ -212,7 +212,7 @@ module Pset = struct
   (* poll() over the persistent set: charge-for-charge the same call
      sequence as [wait] — syscall entry, scan, sleep registration on
      every interest's socket, full rescan per wake, copy-out per ready. *)
-  let wait_set s ~timeout ~k =
+  let[@complexity "O(interests)"] wait_set s ~timeout ~k =
     let host = s.host in
     let costs = host.Host.costs in
     let counters = host.Host.counters in

@@ -39,7 +39,7 @@ let sigio_pending q = q.sigio
 let limit q = q.limit
 
 (* Dequeue up to [max] deliveries; assumes something is available. *)
-let take q max =
+let[@complexity "O(ready)"] take q max =
   let costs = q.host.Host.costs in
   let rec go acc n =
     if n = 0 then List.rev acc
@@ -117,7 +117,7 @@ let clear_signal q ~socket ~fd =
       Hashtbl.remove q.bindings fd
   | Some _ | None -> ()
 
-let wait_general q ~max ~timeout ~k =
+let[@complexity "O(ready)"] wait_general q ~max ~timeout ~k =
   let costs = q.host.Host.costs in
   let counters = q.host.Host.counters in
   counters.Host.syscalls <- counters.Host.syscalls + 1;
@@ -156,13 +156,13 @@ let wait_general q ~max ~timeout ~k =
                      ks ms;
                    if !still_waiting then k [])))
 
-let sigwaitinfo q ~k =
+let[@complexity "O(ready)"] sigwaitinfo q ~k =
   wait_general q ~max:1 ~timeout:None ~k:(fun ds ->
       match ds with
       | [ d ] -> k d
       | [] | _ :: _ :: _ -> assert false)
 
-let sigtimedwait4 q ~max ~timeout ~k =
+let[@complexity "O(ready)"] sigtimedwait4 q ~max ~timeout ~k =
   if max <= 0 then invalid_arg "Rt_signal.sigtimedwait4: max must be positive";
   wait_general q ~max ~timeout ~k
 

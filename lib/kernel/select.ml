@@ -10,7 +10,7 @@ let scan_cost ~host ~nfds =
   let costs = host.Host.costs in
   Time.mul (Time.div costs.Cost_model.poll_copyin_per_fd 3) nfds
 
-let scan ~host ~lookup ~read ~write ~except =
+let[@complexity "O(interests)"] scan ~host ~lookup ~read ~write ~except =
   let costs = host.Host.costs in
   let nfds =
     1 + Stdlib.max (Fd_set.max_fd read) (Stdlib.max (Fd_set.max_fd write) (Fd_set.max_fd except))
@@ -56,7 +56,7 @@ let scan ~host ~lookup ~read ~write ~except =
   done;
   ({ readable = r; writable = w; except = e }, !ready)
 
-let select ~host ~lookup ~read ~write ~except ~timeout ~k =
+let[@complexity "O(interests)"] select ~host ~lookup ~read ~write ~except ~timeout ~k =
   let costs = host.Host.costs in
   let counters = host.Host.counters in
   counters.Host.syscalls <- counters.Host.syscalls + 1;
@@ -201,7 +201,7 @@ module Sset = struct
      each (they all have live sockets, else the except bit would have
      kept them active), active members run the per-fd body of [scan]
      verbatim, in the same ascending-fd order. *)
-  let scan_sset s =
+  let[@complexity "O(active)"] scan_sset s =
     let host = s.host in
     let costs = host.Host.costs in
     let counters = host.Host.counters in
@@ -267,7 +267,7 @@ module Sset = struct
 
   (* select() over the persistent set: charge-for-charge the same call
      sequence as [select], including the rescan at timeout expiry. *)
-  let wait_sset s ~timeout ~k =
+  let[@complexity "O(interests)"] wait_sset s ~timeout ~k =
     let host = s.host in
     let costs = host.Host.costs in
     let counters = host.Host.counters in

@@ -1,0 +1,17 @@
+(* Fixture: both ways to break DESIGN.md section 5's bulk-charging
+   discipline. [rescan] is a certified path whose charge_batch sits
+   INSIDE the O(active) loop — the skipped population is re-charged
+   every iteration. [mystery_charge] bulk-charges a count with no
+   inferable size class, certifying nothing about what was skipped. *)
+
+let[@complexity "O(active)"] rescan t =
+  Fd_map.iter t.active (fun _fd interest ->
+      ignore interest;
+      ignore
+        (Cost_model.charge_batch t.cpu ~cost:t.costs.driver_poll_callback
+           ~count:(Interest_table.length t.table)))
+
+let mystery_charge t =
+  ignore
+    (Cost_model.charge_batch t.cpu ~cost:t.costs.driver_poll_callback
+       ~count:(Mystery.size t))

@@ -1,0 +1,12 @@
+(* Fixture: the adversarial re-derivation of Devpoll.scan — claims the
+   paper's O(active) bound but walks the ENTIRE interest table with no
+   early exit, so the inferred structural cost is O(interests). The
+   scan-complexity finding must name this loop and carry the full
+   codeFlow to it. *)
+
+let[@complexity "O(active)"] scan t ~max_results =
+  ignore max_results;
+  Interest_table.iter t.table (fun interest ->
+      if Fd_map.mem t.active interest.fd then
+        ignore (Host.charge t.host t.costs.driver_poll_callback));
+  Ready_buffer.length t.ready

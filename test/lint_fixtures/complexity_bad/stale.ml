@@ -1,0 +1,9 @@
+(* Fixture: annotation drift in the other direction — the body is O(1)
+   but the annotation still claims O(interests). A padded bound would
+   quietly license a future regression up to the looser claim, so it
+   is a finding too. A second binding carries an annotation the parser
+   rejects outright. *)
+
+let[@complexity "O(interests)"] lookup_one t fd = Interest_table.find t.table fd
+
+let[@complexity "O(n^2)"] weird t = Interest_table.length t.table

@@ -1,0 +1,31 @@
+(* Fixture: a miniature /dev/poll backend whose annotations exactly
+   match the inferred structural costs — the whole file must lint
+   clean. [scan] certifies the paper's central shape: structural work
+   O(active) via the iter_while early exits, while the skipped idle
+   population is bulk-charged O(interests) *outside* the loop. *)
+
+let charge_idle t count =
+  ignore
+    (Cost_model.charge_batch t.cpu ~cost:t.costs.driver_poll_callback ~count)
+
+let[@complexity "O(active)"] scan t ~max_results =
+  let total = Interest_table.length t.table in
+  let remaining = ref (Fd_map.length t.active) in
+  let visited = ref 0 in
+  Interest_table.iter_while t.table ~f:(fun interest ->
+      if Ready_buffer.length t.ready >= max_results then false
+      else if !remaining = 0 then false
+      else begin
+        incr visited;
+        if Fd_map.mem t.active interest.fd then begin
+          decr remaining;
+          ignore (Host.charge t.host t.costs.driver_poll_callback)
+        end;
+        true
+      end);
+  charge_idle t (total - !visited);
+  Ready_buffer.length t.ready
+
+let[@complexity "O(1)"] wait t ~k =
+  ignore (Host.charge t.host t.costs.syscall_entry);
+  Host.charge_run t.host ~cost:Time.zero (fun () -> k t.ready)

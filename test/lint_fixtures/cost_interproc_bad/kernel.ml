@@ -1,4 +1,4 @@
 (* Fixture: an entry point whose delegation target forgot its charge —
    the finding must name the resolved call path that stopped
    charging. *)
-let poll proc ~fds = Npoll.wait proc fds
+let[@complexity "O(1)"] poll proc ~fds = Npoll.wait proc fds

@@ -2,5 +2,5 @@
    callees in other modules. No annotations — the interprocedural
    closure proves the charge: [poll] one hop into Poller.wait,
    [set_signal] two hops through Rt.set into Rt.arm. *)
-let poll proc ~fds = Poller.wait proc fds
+let[@complexity "O(interests)"] poll proc ~fds = Poller.wait proc fds
 let set_signal proc fd = Rt.set proc fd

@@ -6,5 +6,5 @@ let listen proc ~backlog =
   ignore (enter proc backlog);
   Ok 3
 
-let[@lint.ignore "charged in Poll.wait"] poll proc ~k = k proc
+let[@lint.ignore "charged in Poll.wait"] [@complexity "O(1)"] poll proc ~k = k proc
 let helper x = x + 1

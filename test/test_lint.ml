@@ -32,6 +32,8 @@ let test_rule_registry () =
       "arena-slot";
       "nondet-taint";
       "resource-pairing";
+      "scan-complexity";
+      "charge-linearity";
       "stale-ignore";
     ]
     (List.map (fun r -> r.Rule.id) Driver.all_rules);
@@ -505,6 +507,192 @@ let test_sarif_code_flows () =
      in
      mem 0)
 
+(* --- scan-complexity & charge-linearity ---------------------------- *)
+
+let test_complexity_bad () =
+  Alcotest.(check (list string))
+    "complexity_bad findings"
+    [
+      {|lint_fixtures/complexity_bad/batch_abuse.ml:8:2: charge-linearity: in certified Batch_abuse.rescan, this Fd_map.iter loop of class O(active) charges O(interests) per iteration (total O(active*interests)): per-iteration charge must be O(1) — charge skipped work in bulk outside the loop (DESIGN.md section 5). flow: Fd_map.iter loop, class O(active) (lint_fixtures/complexity_bad/batch_abuse.ml:8)|};
+      {|lint_fixtures/complexity_bad/batch_abuse.ml:11:8: charge-linearity: charge_batch of class O(interests) sits inside a loop of class O(active): the skipped population is re-charged every iteration, making the total O(active) * O(interests) instead of a single bulk charge; hoist the charge_batch out of the loop|};
+      {|lint_fixtures/complexity_bad/batch_abuse.ml:16:4: charge-linearity: charge_batch ~count has no inferable size class (O(top) <- result of call Mystery.size has no size class at lint_fixtures/complexity_bad/batch_abuse.ml:17); bind the count to a named population size (a vocabulary name like idle_total, or a Length of the skipped table) so the bulk charge certifies what was skipped|};
+      {|lint_fixtures/complexity_bad/devpoll_redux.ml:7:0: scan-complexity: Devpoll_redux.scan is annotated [@complexity "O(active)"] but its inferred structural cost O(interests) is not entailed: O(interests) arises from Interest_table.iter loop, class O(interests) (lint_fixtures/complexity_bad/devpoll_redux.ml:9). flow: certified definition Devpoll_redux.scan -> Interest_table.iter loop, class O(interests) (lint_fixtures/complexity_bad/devpoll_redux.ml:9)|};
+      {|lint_fixtures/complexity_bad/stale.ml:7:0: scan-complexity: stale annotation on Stale.lookup_one: [@complexity "O(interests)"] is looser than the inferred structural cost O(1); tighten the annotation to the inferred bound so it cannot mask a future regression|};
+      {|lint_fixtures/complexity_bad/stale.ml:9:0: scan-complexity: unparseable [@complexity "O(n^2)"] on Stale.weird: expected "O(term + term)" with terms multiplying 1, active, ready, interests, conns, slots (n_-prefixed spellings accepted)|};
+    ]
+    (render_paths [ "complexity_bad" ])
+
+let test_complexity_sarif_flow () =
+  (* the adversarial O(interests) re-derivation must carry its full
+     provenance as a SARIF codeFlow: entry point, then the loop *)
+  let findings = Driver.analyze_paths [ fx "complexity_bad" ] in
+  let f =
+    List.find
+      (fun (f : Finding.t) -> String.equal f.rule "scan-complexity" && f.flow <> [])
+      findings
+  in
+  let sarif = Sarif.render ~rules:Driver.all_rules [ f ] in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec mem i = i + n <= String.length hay && (String.equal (String.sub hay i n) needle || mem (i + 1)) in
+    mem 0
+  in
+  Alcotest.(check bool) "codeFlows present" true (contains "codeFlows" sarif);
+  Alcotest.(check bool)
+    "flow names the certified definition" true
+    (contains "certified definition Devpoll_redux.scan" sarif);
+  Alcotest.(check bool)
+    "flow names the offending loop" true
+    (contains "Interest_table.iter loop, class O(interests)" sarif)
+
+let test_linter_deterministic () =
+  (* satellite: the linter's own output is a pure function of its
+     input — SARIF and the complexity report generated twice in one
+     process must be byte-identical *)
+  let roots = [ fx "complexity_ok"; fx "complexity_bad"; fx "cost_ok" ] in
+  let r1 = Driver.complexity_report roots in
+  let r2 = Driver.complexity_report roots in
+  Alcotest.(check string) "complexity report byte-identical" r1 r2;
+  let sarif () = Sarif.render ~rules:Driver.all_rules (Driver.analyze_paths roots) in
+  let s1 = sarif () in
+  let s2 = sarif () in
+  Alcotest.(check string) "sarif byte-identical" s1 s2
+
+let test_jobs_identical () =
+  (* satellite: --jobs N merges in path order behind a warm context,
+     so parallel output is byte-identical to sequential *)
+  let roots = [ fx "complexity_bad"; fx "cost_interproc_bad"; fx "taint_bad" ] in
+  let seq = List.map Finding.to_string (Driver.analyze_paths roots) in
+  let par = List.map Finding.to_string (Driver.analyze_paths ~jobs:3 roots) in
+  Alcotest.(check (list string)) "--jobs 3 matches sequential" seq par
+
+(* --- the summary lattice ------------------------------------------- *)
+
+let cost_arb =
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 8,
+            map
+              (fun ms -> Complexity.of_monos (List.map (fun m -> (m, [])) ms))
+              (list_size (int_range 1 3)
+                 (list_size (int_range 0 2) (oneofl Complexity.params))) );
+          (1, return (Complexity.Top []));
+        ])
+  in
+  QCheck.make ~print:Complexity.render_cost gen
+
+let prop_join_comm =
+  QCheck.Test.make ~name:"cost join is commutative" ~count:500
+    QCheck.(pair cost_arb cost_arb)
+    (fun (a, b) -> Complexity.(equal_cost (join a b) (join b a)))
+
+let prop_join_assoc =
+  QCheck.Test.make ~name:"cost join is associative" ~count:500
+    QCheck.(triple cost_arb cost_arb cost_arb)
+    (fun (a, b, c) -> Complexity.(equal_cost (join a (join b c)) (join (join a b) c)))
+
+let prop_join_idem =
+  QCheck.Test.make ~name:"cost join is idempotent" ~count:500 cost_arb (fun a ->
+      Complexity.(equal_cost (join a a) a))
+
+let prop_le_partial_order =
+  QCheck.Test.make ~name:"entailment is a partial order with join as lub" ~count:500
+    QCheck.(pair cost_arb cost_arb)
+    (fun (a, b) ->
+      let open Complexity in
+      le a a
+      && le a (join a b)
+      && le b (join a b)
+      && ((not (le a b && le b a)) || equal_cost a b))
+
+let prop_le_transitive =
+  QCheck.Test.make ~name:"entailment is transitive" ~count:500
+    QCheck.(triple cost_arb cost_arb cost_arb)
+    (fun (a, b, c) ->
+      let open Complexity in
+      (* join forces comparable pairs so the premise is often live *)
+      let b = join a b in
+      let c = join b c in
+      (not (le a b && le b c)) || le a c)
+
+let prop_mult_monotone =
+  QCheck.Test.make ~name:"loop multiplication is monotone" ~count:500
+    QCheck.(triple cost_arb cost_arb cost_arb)
+    (fun (k, a, b) ->
+      let open Complexity in
+      let step = { Finding.sfile = "gen.ml"; sline = 1; scol = 0; swhat = "loop" } in
+      (not (le a b)) || le (mult ~step k a) (mult ~step k b))
+
+let prop_edge_monotone =
+  (* generated call chains: each function sequentially includes a call
+     to the previous one, so along every callgraph edge the caller's
+     host summary entails the callee's *)
+  let param_names = [ "entries"; "acts"; "events"; "conns"; "slots" ] in
+  QCheck.Test.make ~name:"summaries are monotone along generated callgraph edges"
+    ~count:60
+    QCheck.(pair (int_bound 2) (small_list bool))
+    (fun (extra, shape) ->
+      let n = 2 + extra in
+      let fn i =
+        let p = List.nth param_names ((i + List.length shape) mod 5) in
+        let iterate = match List.nth_opt shape i with Some b -> b | None -> false in
+        if i = 0 then
+          Printf.sprintf "let f0 %s = %s" p
+            (if iterate then Printf.sprintf "List.iter (fun x -> ignore x) %s" p
+             else Printf.sprintf "ignore %s" p)
+        else
+          Printf.sprintf "let f%d %s = ignore (f%d %s)%s" i p (i - 1) p
+            (if iterate then Printf.sprintf "; List.iter (fun x -> ignore x) %s" p
+             else "")
+      in
+      let src = String.concat "\n" (List.init n fn) in
+      let str = Ppxlib.Parse.implementation (Lexing.from_string src) in
+      let index = Symbol_index.build [ ("gen.ml", str) ] in
+      let r = Complexity.analyze index in
+      let host i =
+        let s =
+          List.find
+            (fun (s : Symbol_index.symbol) ->
+              s.qname = [ "Gen"; Printf.sprintf "f%d" i ])
+            index.Symbol_index.symbols
+        in
+        (Complexity.SMap.find s.uid r.Complexity.summaries).Complexity.host
+      in
+      List.for_all
+        (fun i -> Complexity.le (host i) (host (i + 1)))
+        (List.init (n - 1) Fun.id))
+
+let test_lattice_units () =
+  let open Complexity in
+  (* the containment chain *)
+  Alcotest.(check bool) "ready <= active" true (le (poly1 "ready") (poly1 "active"));
+  Alcotest.(check bool) "active <= interests" true (le (poly1 "active") (poly1 "interests"));
+  Alcotest.(check bool) "interests </= active" false (le (poly1 "interests") (poly1 "active"));
+  Alcotest.(check bool) "conns incomparable to active" false (le (poly1 "conns") (poly1 "active"));
+  Alcotest.(check bool) "active incomparable to conns" false (le (poly1 "active") (poly1 "conns"));
+  (* products compare pointwise as multisets *)
+  Alcotest.(check bool) "ready*ready <= active*interests" true
+    (mono_le [ "ready"; "ready" ] [ "active"; "interests" ]);
+  Alcotest.(check bool) "active*active </= interests" false
+    (mono_le [ "active"; "active" ] [ "interests" ]);
+  (* annotation grammar round-trips *)
+  let eq_annot s c =
+    match parse_annot s with Some p -> equal_cost p c | None -> false
+  in
+  Alcotest.(check bool) "O(1)" true (eq_annot "O(1)" const);
+  Alcotest.(check bool) "O(active)" true (eq_annot "O(active)" (poly1 "active"));
+  Alcotest.(check bool) "O(n_active)" true (eq_annot "O(n_active)" (poly1 "active"));
+  Alcotest.(check bool) "O(active + ready) normalizes" true
+    (eq_annot "O(active + ready)" (poly1 "active"));
+  Alcotest.(check bool) "O(active*ready + 1)" true
+    (eq_annot "O(active * ready + 1)"
+       (of_monos [ ([ "active"; "ready" ], []) ]));
+  Alcotest.(check bool) "O(n^2) rejected" true (parse_annot "O(n^2)" = None);
+  Alcotest.(check bool) "empty rejected" true (parse_annot "" = None);
+  Alcotest.(check bool) "bare name rejected" true (parse_annot "active" = None)
+
 let test_sarif_clean_fixture () =
   (* The committed fixture is the SARIF output of a clean run over the
      real tree; regenerate with
@@ -568,4 +756,20 @@ let suite =
     Alcotest.test_case "findings sorted across files" `Quick test_paths_sorted;
     Alcotest.test_case "sarif rendering" `Quick test_sarif_result;
     Alcotest.test_case "sarif clean-run fixture" `Quick test_sarif_clean_fixture;
+    Alcotest.test_case "scan-complexity/charge-linearity: violations" `Quick
+      test_complexity_bad;
+    Alcotest.test_case "scan-complexity/charge-linearity: conforming" `Quick
+      (check_clean_paths "complexity_ok" [ "complexity_ok" ]);
+    Alcotest.test_case "scan-complexity: sarif codeFlow" `Quick
+      test_complexity_sarif_flow;
+    Alcotest.test_case "linter self-determinism" `Quick test_linter_deterministic;
+    Alcotest.test_case "--jobs output byte-identical" `Quick test_jobs_identical;
+    Alcotest.test_case "cost lattice units" `Quick test_lattice_units;
+    QCheck_alcotest.to_alcotest prop_join_comm;
+    QCheck_alcotest.to_alcotest prop_join_assoc;
+    QCheck_alcotest.to_alcotest prop_join_idem;
+    QCheck_alcotest.to_alcotest prop_le_partial_order;
+    QCheck_alcotest.to_alcotest prop_le_transitive;
+    QCheck_alcotest.to_alcotest prop_mult_monotone;
+    QCheck_alcotest.to_alcotest prop_edge_monotone;
   ]
