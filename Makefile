@@ -6,7 +6,7 @@
 JOBS ?= 0
 SMOKE_SCALE ?= 0.02
 
-.PHONY: build test lint lint-audit complexity-report complexity-check check bench bench-micro bench-check bench-smoke bench-wallclock clean
+.PHONY: build test lint lint-audit complexity-report complexity-check check bench bench-micro bench-check bench-smoke bench-wallclock figures-shard clean
 
 build:
 	dune build
@@ -89,6 +89,14 @@ bench-wallclock: build
 bench-smoke: build
 	dune exec bench/bench_wallclock.exe -- --scale $(SMOKE_SCALE) --jobs $(JOBS) \
 	  --out /tmp/BENCH_wallclock_smoke.json
+
+# Refresh the committed shard-scaling figure CSVs (figures/). CI
+# regenerates the figure at the same scale and diffs against these, so
+# run this after any change that moves the cluster numbers. The JSON
+# sidecar carries host RSS and is deliberately not committed.
+figures-shard: build
+	dune exec bin/sio_figures.exe -- shard-scaling -q --csv figures
+	rm -f figures/shard-scaling.json
 
 clean:
 	dune clean

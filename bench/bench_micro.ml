@@ -276,6 +276,45 @@ let send_ring_64k =
 let data_plane_tests =
   Test.make_grouped ~name:"data-plane" [ send_copy_64k; send_ring_64k ]
 
+(* The cluster control plane's host-side footprint: steering an
+   arrival schedule across shards (the hash policy's stateless mix,
+   the least-loaded balancer's heap walk) and folding per-shard server
+   stats back into one record. All pure pre-/post-passes around the
+   shard simulations — what must stay cheap is the per-connection
+   decision and the per-point merge. *)
+let steer_schedule = Array.init 1000 (fun i -> Sio_sim.Time.ms i)
+
+let steer_hash =
+  Test.make ~name:"steer 1k conns (hash)"
+    (Staged.stage (fun () ->
+         ignore
+           (Sio_httpd.Shard_cluster.route ~policy:Sio_httpd.Shard_cluster.Hash_tuple
+              ~shards:8 ~seed:42 steer_schedule)))
+
+let steer_least_loaded =
+  Test.make ~name:"steer 1k conns (least-loaded)"
+    (Staged.stage (fun () ->
+         ignore
+           (Sio_httpd.Shard_cluster.route
+              ~policy:Sio_httpd.Shard_cluster.Least_loaded ~shards:8 ~seed:42
+              steer_schedule)))
+
+let stats_merge =
+  Test.make ~name:"stats merge (8 shards)"
+    (let shard_stats =
+       List.init 8 (fun s ->
+           let st = Sio_httpd.Server_stats.create () in
+           for i = 0 to 99 do
+             Sio_httpd.Server_stats.record_reply st
+               ~now:(Sio_sim.Time.ms ((s * 7) + (i * 10)))
+           done;
+           st)
+     in
+     Staged.stage (fun () -> ignore (Sio_httpd.Server_stats.merge shard_stats)))
+
+let shard_tests =
+  Test.make_grouped ~name:"shard" [ steer_hash; steer_least_loaded; stats_merge ]
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -293,6 +332,7 @@ let tests =
       ready_set_tests;
       arena_tests;
       data_plane_tests;
+      shard_tests;
     ]
 
 (* Machine-readable mirror of the printed table, for commit alongside

@@ -43,11 +43,12 @@ let resolve id =
    leg goes through the memory-aware CSV so the modeled kernel-bytes
    column is held to byte identity too (host RSS deliberately isn't —
    it never appears in CSV). *)
-let fingerprint (fig_series, idle_series, rs_series) =
+let fingerprint (fig_series, idle_series, rs_series, shard_series) =
   String.concat "\n"
     (List.map Sio_loadgen.Report.csv_of_series (List.concat fig_series)
     @ List.map Sio_loadgen.Report.csv_of_idle_series idle_series
-    @ List.map Sio_loadgen.Report.csv_of_response_size_series rs_series)
+    @ List.map Sio_loadgen.Report.csv_of_response_size_series rs_series
+    @ List.map Sio_loadgen.Report.csv_of_shard_series shard_series)
 
 (* Measuring host wall time is the entire point of this bench; it
    never feeds back into the simulation (only the CSV fingerprint,
@@ -67,6 +68,13 @@ let idle_smoke = [ 1; 51 ]
    partial-page and attach-fallback economics). *)
 let response_size_smoke = [ 1024; 16384 ]
 
+(* And a {1,2}-shard cluster leg: the steering pre-pass, the
+   partitioned per-shard worlds, and the order-insensitive outcome
+   merge all land in the fingerprint (the 2-shard points run their
+   shards sequentially inside one pool task in the parallel pass, so
+   scheduling independence is checked end to end). *)
+let shard_smoke = [ 1; 2 ]
+
 let () =
   let scale, jobs, out, figure_ids = parse_args () in
   let figures = List.map resolve figure_ids in
@@ -75,14 +83,17 @@ let () =
     + List.length idle_smoke
     + (List.length response_size_smoke
       * List.length Scalanio.Figures.response_size.Scalanio.Figures.rs_series)
+    + (List.length shard_smoke
+      * List.length Scalanio.Figures.shard_scaling.Scalanio.Figures.ss_series)
   in
   let run pool =
     ( List.map (fun fig -> Scalanio.Figures.run ?pool ~scale fig) figures,
       Scalanio.Figures.run_idle_scaling ?pool ~idles:idle_smoke ~rate:300 (),
-      Scalanio.Figures.run_response_size ?pool ~sizes:response_size_smoke ~scale () )
+      Scalanio.Figures.run_response_size ?pool ~sizes:response_size_smoke ~scale (),
+      Scalanio.Figures.run_shard_scaling ?pool ~shards:shard_smoke ~scale () )
   in
   Fmt.epr
-    "bench_wallclock: %s+idle-scaling+response-size, %d points/figure-set, scale %.2f@."
+    "bench_wallclock: %s+idle-scaling+response-size+shard-scaling, %d points/figure-set, scale %.2f@."
     (String.concat "+" figure_ids) points scale;
   let seq, seq_s = timed (fun () -> run None) in
   Fmt.epr "  sequential: %.2fs@." seq_s;

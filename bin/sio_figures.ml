@@ -26,7 +26,10 @@ let list_figures () =
     is.Scalanio.Figures.is_title;
   let rs = Scalanio.Figures.response_size in
   Fmt.pr "%-16s %s (not in 'all'; request explicitly)@." rs.Scalanio.Figures.rs_id
-    rs.Scalanio.Figures.rs_title
+    rs.Scalanio.Figures.rs_title;
+  let ss = Scalanio.Figures.shard_scaling in
+  Fmt.pr "%-16s %s (not in 'all'; request explicitly)@." ss.Scalanio.Figures.ss_id
+    ss.Scalanio.Figures.ss_title
 
 let sanitize label =
   String.map (fun c -> if c = ' ' || c = '/' || c = '=' then '-' else c) label
@@ -174,6 +177,88 @@ let run_response_size pool scale seed quiet csv_dir =
     seed scale series;
   Fmt.pr "@."
 
+let write_shard_csv dir ~main ~ablation =
+  let write prefix s =
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%s-%s.csv" prefix (sanitize s.Sio_loadgen.Report.label))
+    in
+    let oc = open_out path in
+    output_string oc (Sio_loadgen.Report.csv_of_shard_series s);
+    close_out oc;
+    Fmt.epr "wrote %s@." path
+  in
+  List.iter (write "shard-scaling") main;
+  List.iter (write "shard-ablation") ablation
+
+let write_shard_json dir seed scale ~main ~ablation =
+  let path = Filename.concat dir "shard-scaling.json" in
+  let buf = Buffer.create 1024 in
+  let f = Scalanio.Figures.shard_scaling in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"figure\": \"shard-scaling\",\n  \"offered_rate\": %d,\n  \"idle\": %d,\n  \"seed\": %d,\n  \"scale\": %g,\n"
+       f.Scalanio.Figures.ss_rate f.Scalanio.Figures.ss_idle seed scale);
+  let block name series last =
+    Buffer.add_string buf (Printf.sprintf "  %S: [\n" name);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "    {\n      \"label\": %S,\n      \"points\": [\n"
+             s.Sio_loadgen.Report.label);
+        let n = List.length s.Sio_loadgen.Report.points in
+        List.iteri
+          (fun pi p ->
+            let o = p.Sio_loadgen.Sweep.outcome in
+            let m = o.Sio_loadgen.Experiment.metrics in
+            let pct q =
+              if Sio_sim.Histogram.count m.Sio_loadgen.Metrics.latency = 0 then 0.
+              else
+                Sio_sim.Time.to_ms_f
+                  (Sio_sim.Histogram.percentile m.Sio_loadgen.Metrics.latency q)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "        {\"shards\": %d, \"reply_rate_avg\": %.2f, \"err_percent\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"kernel_mem_peak_bytes\": %d, \"host_rss_bytes\": %d}%s\n"
+                 p.Sio_loadgen.Sweep.rate m.Sio_loadgen.Metrics.reply_rate_avg
+                 m.Sio_loadgen.Metrics.error_percent (pct 50.) (pct 99.)
+                 o.Sio_loadgen.Experiment.kernel_mem_peak
+                 o.Sio_loadgen.Experiment.host_rss_bytes
+                 (if pi = n - 1 then "" else ",")))
+          s.Sio_loadgen.Report.points;
+        Buffer.add_string buf
+          (Printf.sprintf "      ]\n    }%s\n"
+             (if si = List.length series - 1 then "" else ",")))
+      series;
+    Buffer.add_string buf (Printf.sprintf "  ]%s\n" (if last then "" else ","))
+  in
+  block "series" main false;
+  block "ablation" ablation true;
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.epr "wrote %s@." path
+
+let run_shard_scaling pool scale seed quiet csv_dir =
+  let on_point ~label p =
+    if not quiet then
+      Fmt.epr "  [shard-scaling] %s shards=%d avg=%.1f err=%.1f%%@." label
+        p.Sio_loadgen.Sweep.rate
+        p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+          .Sio_loadgen.Metrics.reply_rate_avg
+        p.Sio_loadgen.Sweep.outcome.Sio_loadgen.Experiment.metrics
+          .Sio_loadgen.Metrics.error_percent
+  in
+  let main = Scalanio.Figures.run_shard_scaling ?pool ~scale ~seed ~on_point () in
+  let ablation = Scalanio.Figures.run_shard_ablation ?pool ~scale ~seed ~on_point () in
+  Scalanio.Figures.render_shard_scaling Fmt.stdout ~main ~ablation;
+  (match csv_dir with Some dir -> write_shard_csv dir ~main ~ablation | None -> ());
+  write_shard_json
+    (Option.value csv_dir ~default:Filename.current_dir_name)
+    seed scale ~main ~ablation;
+  Fmt.pr "@."
+
 let run_idle_scaling pool seed quiet csv_dir =
   let on_point ~label p =
     if not quiet then
@@ -214,9 +299,13 @@ let run_figures names scale seed rates quiet csv_dir jobs =
     let want = List.mem "response-size" names in
     (List.filter (fun n -> n <> "response-size") names, want)
   in
+  let names, want_shard_scaling =
+    let want = List.mem "shard-scaling" names in
+    (List.filter (fun n -> n <> "shard-scaling") names, want)
+  in
   let targets =
     match names with
-    | [] when want_idle_scaling || want_response_size -> Ok []
+    | [] when want_idle_scaling || want_response_size || want_shard_scaling -> Ok []
     | [] | [ "all" ] -> Ok Scalanio.Figures.all
     | names ->
         let rec resolve acc = function
@@ -251,7 +340,8 @@ let run_figures names scale seed rates quiet csv_dir jobs =
               Fmt.pr "@.")
             figures;
           if want_idle_scaling then run_idle_scaling pool seed quiet csv_dir;
-          if want_response_size then run_response_size pool scale seed quiet csv_dir);
+          if want_response_size then run_response_size pool scale seed quiet csv_dir;
+          if want_shard_scaling then run_shard_scaling pool scale seed quiet csv_dir);
       0
 
 let names_arg =

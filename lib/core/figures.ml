@@ -493,6 +493,208 @@ let render_response_size ppf series =
   Fmt.pf ppf "@.";
   columns mbit_s "achieved wire throughput, Mbit/s"
 
+(* The multi-core figure: aggregate reply rate and latency tails vs
+   shard count, for an N-shard SO_REUSEPORT-style cluster of each
+   event mechanism. The offered rate is fixed well above a single
+   shard's capacity, so the achieved rate reads as cluster capacity
+   and the curve shows how each mechanism converts shards into
+   throughput under a large shared idle population. *)
+type shard_scaling = {
+  ss_id : string;
+  ss_title : string;
+  ss_expectation : string;
+  ss_rate : int;  (** aggregate offered rate, all points *)
+  ss_idle : int;  (** aggregate idle population, split across shards *)
+  ss_shards : int list;  (** the x axis *)
+  ss_series : (string * Experiment.server_kind) list;
+  ss_ablation_policies : Sio_httpd.Shard_cluster.policy list;
+  ss_ablation_population : Sio_httpd.Shard_cluster.population;
+      (** the skewed client world where steering policy matters *)
+}
+
+let shard_scaling =
+  {
+    ss_id = "shard-scaling";
+    ss_title =
+      "Aggregate reply rate and latency vs shard count, 6400 req/s \
+       offered, 10000 idle connections";
+    ss_expectation =
+      "Each doubling of shards doubles epoll's aggregate reply rate \
+       until the offered rate is met (4 shards recover >= 3x a single \
+       shard; 8 shards meet the offered load): shards split both the \
+       request stream and the idle population, and an O(ready) wait \
+       path leaves the extra CPU to the data plane. /dev/poll tracks \
+       epoll but keeps paying per-interest hint checks over its idle \
+       slice; poll still scans its whole shard per wait, so even 8 \
+       shards of it stay far below the offered rate. The steering \
+       ablation runs the epoll cluster against a Zipf-skewed client \
+       population: tuple-hashing polarizes (the head tuples pin to one \
+       shard, capping the cluster near that shard's capacity) while \
+       round-robin and least-loaded stay within a few percent of the \
+       uniform-steering cluster.";
+    ss_rate = 6400;
+    ss_idle = 10_000;
+    ss_shards = [ 1; 2; 4; 8 ];
+    ss_series =
+      [
+        ("poll", Experiment.Thttpd_poll);
+        ("devpoll", devpoll);
+        ("epoll", Experiment.Thttpd_epoll { max_events = 64 });
+      ];
+    ss_ablation_policies =
+      Sio_httpd.Shard_cluster.[ Hash_tuple; Round_robin; Least_loaded ];
+    (* 64 client endpoints with Zipf(1.2) popularity: the head tuple
+       alone carries ~29% of connections, so hashing pins over a
+       quarter of the offered load to a single shard. *)
+    ss_ablation_population = { Sio_httpd.Shard_cluster.tuples = 64; skew = 1.2 };
+  }
+
+let shard_cluster_config ~kind ~policy ~population ~shards ~seed ~scale =
+  let f = shard_scaling in
+  let total =
+    Stdlib.max 400 (int_of_float (float_of_int (25 * f.ss_rate) *. scale))
+  in
+  let workload =
+    {
+      Workload.default with
+      Workload.request_rate = f.ss_rate;
+      total_connections = total;
+      inactive_connections = f.ss_idle;
+    }
+  in
+  let base = Experiment.default_config ~kind ~workload in
+  let base =
+    {
+      base with
+      (* One derived seed per (shards, scale-independent) point; the
+         cluster derives per-shard seeds from it. *)
+      Experiment.seed = Sio_sim.Rng.derive ~seed (0x5ca1e + shards);
+      (* Room for each shard's idle slice plus the overload backlog of
+         accepted-but-unserviced connections. *)
+      server_fd_limit = f.ss_idle + 8192;
+      settle = Sio_sim.Time.s (2 + (f.ss_idle / 5000));
+      thttpd = { base.Experiment.thttpd with Sio_httpd.Thttpd.backlog = 4096 };
+    }
+  in
+  {
+    Cluster.base;
+    shards;
+    policy;
+    population;
+    mem_mode = Cluster.Partitioned;
+  }
+
+let run_shard_series ?pool ~shards ~on_point ~label mk_config =
+  let run_point n =
+    { Sweep.rate = n; outcome = (Cluster.run (mk_config n)).Cluster.merged }
+  in
+  let points =
+    match pool with
+    | None ->
+        List.map
+          (fun n ->
+            let p = run_point n in
+            on_point ~label p;
+            p)
+          shards
+    | Some pool ->
+        (* Points in parallel, the shards of each point sequential:
+           Domain_pool tasks must not nest. *)
+        let ps = Sio_sim.Domain_pool.map pool ~f:run_point shards in
+        List.iter (fun p -> on_point ~label p) ps;
+        ps
+  in
+  { Report.label; points }
+
+let run_shard_scaling ?pool ?shards ?(scale = 0.2) ?(seed = 42)
+    ?(on_point = fun ~label:_ _ -> ()) () =
+  let f = shard_scaling in
+  let shards = match shards with Some l -> l | None -> f.ss_shards in
+  List.map
+    (fun (label, kind) ->
+      run_shard_series ?pool ~shards ~on_point ~label (fun n ->
+          shard_cluster_config ~kind
+            ~policy:Sio_httpd.Shard_cluster.Hash_tuple
+            ~population:Sio_httpd.Shard_cluster.uniform_population ~shards:n
+            ~seed ~scale))
+    f.ss_series
+
+let run_shard_ablation ?pool ?shards ?(scale = 0.2) ?(seed = 42)
+    ?(on_point = fun ~label:_ _ -> ()) () =
+  let f = shard_scaling in
+  let shards = match shards with Some l -> l | None -> f.ss_shards in
+  let kind = Experiment.Thttpd_epoll { max_events = 64 } in
+  List.map
+    (fun policy ->
+      let label = Sio_httpd.Shard_cluster.policy_name policy in
+      run_shard_series ?pool ~shards ~on_point ~label (fun n ->
+          shard_cluster_config ~kind ~policy
+            ~population:f.ss_ablation_population ~shards:n ~seed ~scale))
+    f.ss_ablation_policies
+
+let percentile_ms m p =
+  if Sio_sim.Histogram.count m.Metrics.latency = 0 then 0.
+  else Sio_sim.Time.to_ms_f (Sio_sim.Histogram.percentile m.Metrics.latency p)
+
+let render_shard_tables ppf series =
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%s@." s.Report.label;
+      Fmt.pf ppf
+        "  shards       avg        sd       min       max     err%%     p50_ms     p99_ms@.";
+      List.iter
+        (fun p ->
+          let m = p.Sweep.outcome.Experiment.metrics in
+          Fmt.pf ppf "%8d  %8.1f  %8.1f  %8.1f  %8.1f  %7.2f  %9.2f  %9.2f@."
+            p.Sweep.rate m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd
+            m.Metrics.reply_rate_min m.Metrics.reply_rate_max
+            m.Metrics.error_percent (percentile_ms m 50.) (percentile_ms m 99.))
+        s.points;
+      Fmt.pf ppf "@.")
+    series
+
+let render_shard_columns ppf series =
+  let columns pick unit_label =
+    Fmt.pf ppf "  shards";
+    List.iter (fun s -> Fmt.pf ppf "  %14s" s.Report.label) series;
+    Fmt.pf ppf "    (%s)@." unit_label;
+    match series with
+    | [] -> ()
+    | first :: _ ->
+        List.iteri
+          (fun i p0 ->
+            Fmt.pf ppf "%8d" p0.Sweep.rate;
+            List.iter
+              (fun s ->
+                match List.nth_opt s.Report.points i with
+                | Some p ->
+                    Fmt.pf ppf "  %14.1f" (pick p.Sweep.outcome.Experiment.metrics)
+                | None -> Fmt.pf ppf "  %14s" "-")
+              series;
+            Fmt.pf ppf "@.")
+          first.Report.points
+  in
+  columns
+    (fun m -> m.Metrics.reply_rate_avg)
+    (Printf.sprintf "aggregate reply rate /s at %d req/s offered"
+       shard_scaling.ss_rate);
+  Fmt.pf ppf "@.";
+  columns (fun m -> percentile_ms m 99.) "p99 connection time, ms"
+
+let render_shard_scaling ppf ~main ~ablation =
+  let f = shard_scaling in
+  Fmt.pf ppf "== %s: %s ==@." f.ss_id f.ss_title;
+  Fmt.pf ppf "expected: %s@.@." f.ss_expectation;
+  render_shard_tables ppf main;
+  render_shard_columns ppf main;
+  Fmt.pf ppf "@.";
+  Fmt.pf ppf
+    "-- steering ablation: epoll shards, Zipf(%.1f) over %d client tuples --@.@."
+    f.ss_ablation_population.Sio_httpd.Shard_cluster.skew
+    f.ss_ablation_population.Sio_httpd.Shard_cluster.tuples;
+  render_shard_tables ppf ablation;
+  render_shard_columns ppf ablation
+
 let render_idle_scaling ppf series =
   let f = idle_scaling in
   Fmt.pf ppf "== %s: %s ==@." f.is_id f.is_title;

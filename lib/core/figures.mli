@@ -150,3 +150,59 @@ val run_response_size :
     bit-identical results. *)
 
 val render_response_size : Format.formatter -> Report.series list -> unit
+
+(** {1 The shard-scaling figure}
+
+    The multi-core figure: aggregate reply rate and latency tails vs
+    {e shard count} for an N-shard SO_REUSEPORT-style cluster
+    ({!Sio_loadgen.Cluster}) of each event mechanism, at a fixed
+    offered rate well above one shard's capacity and with a large
+    idle population split across shards. A steering-policy ablation
+    runs the epoll cluster against a Zipf-skewed client population,
+    where tuple-hashing polarizes and round-robin/least-loaded do
+    not. *)
+
+type shard_scaling = {
+  ss_id : string;
+  ss_title : string;
+  ss_expectation : string;
+  ss_rate : int;  (** aggregate offered rate for every point *)
+  ss_idle : int;  (** aggregate idle population, split across shards *)
+  ss_shards : int list;  (** the x axis: {1, 2, 4, 8} *)
+  ss_series : (string * Experiment.server_kind) list;
+      (** poll, /dev/poll, epoll *)
+  ss_ablation_policies : Sio_httpd.Shard_cluster.policy list;
+  ss_ablation_population : Sio_httpd.Shard_cluster.population;
+}
+
+val shard_scaling : shard_scaling
+
+val run_shard_scaling :
+  ?pool:Sio_sim.Domain_pool.t ->
+  ?shards:int list ->
+  ?scale:float ->
+  ?seed:int ->
+  ?on_point:(label:string -> Sweep.point -> unit) ->
+  unit ->
+  Report.series list
+(** The main grid: one series per event mechanism, hash steering over
+    a uniform (all-distinct-tuples) population — the faithful
+    SO_REUSEPORT default. Each point's [Sweep.rate] field carries the
+    shard count and its outcome is the cluster-merged view.
+    Deterministic in [seed]; with [pool] the points run in parallel
+    (the shards of each point stay sequential) with bit-identical
+    results. *)
+
+val run_shard_ablation :
+  ?pool:Sio_sim.Domain_pool.t ->
+  ?shards:int list ->
+  ?scale:float ->
+  ?seed:int ->
+  ?on_point:(label:string -> Sweep.point -> unit) ->
+  unit ->
+  Report.series list
+(** The steering ablation: one series per policy, epoll shards, the
+    Zipf-skewed client population of {!shard_scaling}. *)
+
+val render_shard_scaling :
+  Format.formatter -> main:Report.series list -> ablation:Report.series list -> unit

@@ -37,6 +37,45 @@ let record_reply t ~now =
 
 let reply_rates t ~until = Sampler.rates t.reply_sampler ~until
 
+(* Shard merge. The exhaustive destructure (no wildcard, warning 9 is
+   fatal) is the coverage guard the cluster relies on: adding a
+   counter to [t] without teaching [add] about it no longer compiles,
+   so a new field can never be silently dropped from merged totals. *)
+let add ~into src =
+  let {
+    replies;
+    accepted;
+    dropped_conns;
+    timed_out_conns;
+    stale_events;
+    overflow_recoveries;
+    mode_switches;
+    emfile_drops;
+    enobufs_drops;
+    partial_writes;
+    bytes_sent;
+    reply_sampler;
+  } =
+    src
+  in
+  into.replies <- into.replies + replies;
+  into.accepted <- into.accepted + accepted;
+  into.dropped_conns <- into.dropped_conns + dropped_conns;
+  into.timed_out_conns <- into.timed_out_conns + timed_out_conns;
+  into.stale_events <- into.stale_events + stale_events;
+  into.overflow_recoveries <- into.overflow_recoveries + overflow_recoveries;
+  into.mode_switches <- into.mode_switches + mode_switches;
+  into.emfile_drops <- into.emfile_drops + emfile_drops;
+  into.enobufs_drops <- into.enobufs_drops + enobufs_drops;
+  into.partial_writes <- into.partial_writes + partial_writes;
+  into.bytes_sent <- into.bytes_sent + bytes_sent;
+  Sampler.merge_into ~into:into.reply_sampler reply_sampler
+
+let merge ?sample_interval ts =
+  let into = create ?sample_interval () in
+  List.iter (fun src -> add ~into src) ts;
+  into
+
 let pp ppf t =
   Fmt.pf ppf
     "replies=%d accepted=%d dropped=%d timed_out=%d stale=%d overflows=%d switches=%d emfile=%d enobufs=%d partial_writes=%d bytes_sent=%d"

@@ -31,4 +31,16 @@ val record_reply : t -> now:Time.t -> unit
 val reply_rates : t -> until:Time.t -> float list
 (** Per-interval reply rates (replies/s), including empty intervals. *)
 
+val add : into:t -> t -> unit
+(** [add ~into src] accumulates every counter of [src] into [into] and
+    merges the reply samplers on an absolute-time grid
+    ({!Sampler.merge_into}). Implemented by exhaustive record
+    destructure, so adding a field to [t] without extending [add] is a
+    compile error — counters cannot be silently dropped from a shard
+    merge. [src] is unchanged. *)
+
+val merge : ?sample_interval:Time.t -> t list -> t
+(** Fold {!add} over a fresh stats record. Merge is order-insensitive
+    for every counter; the sampler grid follows the earliest origin. *)
+
 val pp : Format.formatter -> t -> unit

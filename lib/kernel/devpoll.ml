@@ -1,12 +1,20 @@
 open Sio_sim
 
-type sub = { sock_id : int; socket : Socket.t; token : int; wtoken : int }
+type sub = { token : int; wtoken : int }
+
+(* The subscription tokens are arena-native: they live in the
+   subscribed socket's {!Conn_arena} cold slot under this instance's
+   attach key and vanish with the connection. The instance keeps an
+   fd -> socket-handle index so descriptor reuse is detectable (the
+   handle remembers which socket the backmap was installed on). *)
+type Conn_arena.cold += Dp_sub of sub
 
 type t = {
   host : Host.t;
   lookup : int -> Socket.t option;
+  key : int; (* attach key naming this instance's subscriptions *)
   table : Interest_table.t;
-  subs : sub Fd_map.t; (* fd -> backmap subscription *)
+  subs : Socket.t Fd_map.t; (* fd -> socket the backmap is installed on *)
   active : Interest_table.interest Fd_map.t;
       (* Conservative superset of the interests whose next probe might
          do more than a hint-check skip. Everything outside it is
@@ -25,6 +33,7 @@ let create ~host ~lookup =
   {
     host;
     lookup;
+    key = Socket.new_attach_key ();
     table = Interest_table.create ();
     subs = Fd_map.create ~initial_capacity:64 ();
     active = Fd_map.create ~initial_capacity:64 ();
@@ -65,14 +74,24 @@ let subscribe t fd (sock : Socket.t) =
         wake_sleepers t mask)
   in
   let wtoken = Socket.add_watcher sock (fun () -> mark_active t fd) in
-  Fd_map.set t.subs fd { sock_id = Socket.id sock; socket = sock; token; wtoken }
+  Socket.attach sock ~key:t.key (Dp_sub { token; wtoken });
+  Fd_map.set t.subs fd sock
+
+let sub_of t sock =
+  match Socket.attachment sock ~key:t.key with
+  | Some (Dp_sub s) -> Some s
+  | Some _ | None -> None
 
 let unsubscribe t fd =
   match Fd_map.find t.subs fd with
   | None -> ()
-  | Some sub ->
-      Socket.unsubscribe sub.socket sub.token;
-      Socket.remove_watcher sub.socket sub.wtoken;
+  | Some sock ->
+      (match sub_of t sock with
+      | Some sub ->
+          Socket.unsubscribe sock sub.token;
+          Socket.remove_watcher sock sub.wtoken;
+          Socket.detach sock ~key:t.key
+      | None -> ());
       ignore (Fd_map.remove t.subs fd)
 
 let write t entries =
@@ -98,7 +117,7 @@ let write t entries =
         match t.lookup fd with
         | Some sock -> (
             match Fd_map.find t.subs fd with
-            | Some sub when sub.sock_id = Socket.id sock -> ()
+            | Some installed when Socket.id installed = Socket.id sock -> ()
             | Some _ ->
                 unsubscribe t fd;
                 subscribe t fd sock
@@ -136,7 +155,7 @@ let probe t (interest : Interest_table.interest) =
   | Some sock ->
       (* Descriptor reuse: rebind the backmap to the new socket. *)
       (match Fd_map.find t.subs fd with
-      | Some sub when sub.sock_id = Socket.id sock -> ()
+      | Some installed when Socket.id installed = Socket.id sock -> ()
       | Some _ | None ->
           unsubscribe t fd;
           subscribe t fd sock;
@@ -310,9 +329,13 @@ let active_fds t = List.map fst (Fd_map.to_list t.active)
 
 let close t =
   if not t.closed then begin
-    Fd_map.iter t.subs (fun _ sub ->
-        Socket.unsubscribe sub.socket sub.token;
-        Socket.remove_watcher sub.socket sub.wtoken);
+    Fd_map.iter t.subs (fun _ sock ->
+        match sub_of t sock with
+        | Some sub ->
+            Socket.unsubscribe sock sub.token;
+            Socket.remove_watcher sock sub.wtoken;
+            Socket.detach sock ~key:t.key
+        | None -> ());
     Fd_map.clear t.subs;
     Fd_map.clear t.active;
     t.closed <- true

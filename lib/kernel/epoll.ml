@@ -8,15 +8,23 @@ type interest = {
   trigger : trigger;
   mutable queued : bool; (* already on the ready list *)
   mutable pending : Pollmask.t; (* accumulated edges (edge mode) *)
-  sock_id : int;
-  socket : Socket.t;
-  token : int; (* observer subscription *)
+  mutable token : int; (* observer subscription *)
 }
+
+(* The interest record is arena-native: it lives in the socket's
+   {!Conn_arena} cold slot under this instance's attach key, so
+   closing the connection drops it (and its observer registration)
+   with the slot. The instance keeps only an fd -> socket-handle
+   index, needed because epoll is keyed by descriptor and must keep
+   reporting POLLNVAL for descriptors that vanish from the fd table
+   while their interest is still registered. *)
+type Conn_arena.cold += Ep_interest of interest
 
 type t = {
   host : Host.t;
   lookup : int -> Socket.t option;
-  interests : interest Fd_map.t;
+  key : int; (* attach key naming this instance's interests *)
+  watched : Socket.t Fd_map.t; (* fd -> socket at registration time *)
   ready : int Queue.t;
   wq : Socket.waiter Wait_queue.t;
   mutable closed : bool;
@@ -26,11 +34,17 @@ let create ~host ~lookup =
   {
     host;
     lookup;
-    interests = Fd_map.create ~initial_capacity:64 ();
+    key = Socket.new_attach_key ();
+    watched = Fd_map.create ~initial_capacity:64 ();
     ready = Queue.create ();
     wq = Wait_queue.create ();
     closed = false;
   }
+
+let interest_of t socket =
+  match Socket.attachment socket ~key:t.key with
+  | Some (Ep_interest i) -> Some i
+  | Some _ | None -> None
 
 let forced = Pollmask.union Pollmask.pollerr (Pollmask.union Pollmask.pollhup Pollmask.pollnval)
 
@@ -64,34 +78,17 @@ let charge_ctl t =
 
 let ctl_add t ~fd ~events ?(trigger = Level) () =
   charge_ctl t;
-  if Fd_map.mem t.interests fd then Error `Eexist
+  if Fd_map.mem t.watched fd then Error `Eexist
   else
     match t.lookup fd with
     | None -> Error `Ebadf
     | Some socket ->
-        (* The observer closure needs the interest record and vice
-           versa; tie the knot through a ref. *)
-        let interest_ref = ref None in
-        let token =
-          Socket.subscribe socket (fun mask ->
-              match !interest_ref with
-              | Some interest -> enqueue_ready t interest mask
-              | None -> ())
-        in
         let interest =
-          {
-            fd;
-            events;
-            trigger;
-            queued = false;
-            pending = Pollmask.empty;
-            sock_id = Socket.id socket;
-            socket;
-            token;
-          }
+          { fd; events; trigger; queued = false; pending = Pollmask.empty; token = 0 }
         in
-        interest_ref := Some interest;
-        Fd_map.set t.interests fd interest;
+        interest.token <- Socket.subscribe socket (fun mask -> enqueue_ready t interest mask);
+        Socket.attach socket ~key:t.key (Ep_interest interest);
+        Fd_map.set t.watched fd socket;
         (* No lost startup events: if already ready, queue now. *)
         let st = Socket.status socket in
         if Pollmask.intersects st (Pollmask.union events forced) then begin
@@ -103,28 +100,34 @@ let ctl_add t ~fd ~events ?(trigger = Level) () =
 
 let ctl_mod t ~fd ~events =
   charge_ctl t;
-  match Fd_map.find t.interests fd with
+  match Fd_map.find t.watched fd with
   | None -> Error `Enoent
-  | Some interest ->
-      interest.events <- events;
-      (* A newly interesting condition may already hold. *)
-      let st = Socket.status interest.socket in
-      if
-        (not interest.queued)
-        && Pollmask.intersects st (Pollmask.union events forced)
-      then begin
-        interest.queued <- true;
-        Queue.add fd t.ready
-      end;
-      Ok ()
+  | Some socket -> (
+      match interest_of t socket with
+      | None -> Ok () (* connection already freed; nothing to retarget *)
+      | Some interest ->
+          interest.events <- events;
+          (* A newly interesting condition may already hold. *)
+          let st = Socket.status socket in
+          if
+            (not interest.queued)
+            && Pollmask.intersects st (Pollmask.union events forced)
+          then begin
+            interest.queued <- true;
+            Queue.add fd t.ready
+          end;
+          Ok ())
 
 let ctl_del t ~fd =
   charge_ctl t;
-  match Fd_map.find t.interests fd with
+  match Fd_map.find t.watched fd with
   | None -> Error `Enoent
-  | Some interest ->
-      Socket.unsubscribe interest.socket interest.token;
-      ignore (Fd_map.remove t.interests fd);
+  | Some socket ->
+      (match interest_of t socket with
+      | Some interest -> Socket.unsubscribe socket interest.token
+      | None -> ());
+      Socket.detach socket ~key:t.key;
+      ignore (Fd_map.remove t.watched fd);
       (* A stale ready-list entry is dropped lazily at the next wait. *)
       Ok ()
 
@@ -137,38 +140,46 @@ let[@complexity "O(ready)"] harvest t ~max_events =
   let continue = ref true in
   while !continue && !n < max_events && not (Queue.is_empty t.ready) do
     let fd = Queue.take t.ready in
-    match Fd_map.find t.interests fd with
+    match Fd_map.find t.watched fd with
     | None -> () (* deleted while queued *)
-    | Some interest -> (
-        interest.queued <- false;
+    | Some registered -> (
+        (match interest_of t registered with
+        | Some interest -> interest.queued <- false
+        | None -> ());
         match t.lookup fd with
         | None ->
             (* Descriptor closed while queued: report NVAL once. *)
             results := { Poll.fd; revents = Pollmask.pollnval } :: !results;
             incr n
-        | Some sock when Socket.id sock <> interest.sock_id ->
+        | Some sock when Socket.id sock <> Socket.id registered ->
             (* fd reused by a different socket; epoll keys on the open
                file, so the old interest is dead. *)
-            Socket.unsubscribe interest.socket interest.token;
-            ignore (Fd_map.remove t.interests fd)
-        | Some sock ->
-            let st = Socket.driver_poll sock in
-            let revents =
-              match interest.trigger with
-              | Level -> Pollmask.inter st (Pollmask.union interest.events forced)
-              | Edge ->
-                  Pollmask.inter
-                    (Pollmask.union interest.pending st)
-                    (Pollmask.union interest.events forced)
-            in
-            interest.pending <- Pollmask.empty;
-            if Pollmask.is_empty revents then () (* stale: readiness evaporated *)
-            else begin
-              results := { Poll.fd; revents } :: !results;
-              incr n;
-              (* Level-triggered and still ready: stays on the list. *)
-              if interest.trigger = Level then requeue := interest :: !requeue
-            end)
+            (match interest_of t registered with
+            | Some interest -> Socket.unsubscribe registered interest.token
+            | None -> ());
+            Socket.detach registered ~key:t.key;
+            ignore (Fd_map.remove t.watched fd)
+        | Some sock -> (
+            match interest_of t sock with
+            | None -> ()
+            | Some interest ->
+                let st = Socket.driver_poll sock in
+                let revents =
+                  match interest.trigger with
+                  | Level -> Pollmask.inter st (Pollmask.union interest.events forced)
+                  | Edge ->
+                      Pollmask.inter
+                        (Pollmask.union interest.pending st)
+                        (Pollmask.union interest.events forced)
+                in
+                interest.pending <- Pollmask.empty;
+                if Pollmask.is_empty revents then () (* stale: readiness evaporated *)
+                else begin
+                  results := { Poll.fd; revents } :: !results;
+                  incr n;
+                  (* Level-triggered and still ready: stays on the list. *)
+                  if interest.trigger = Level then requeue := interest :: !requeue
+                end))
   done;
   List.iter
     (fun interest ->
@@ -236,13 +247,17 @@ let[@complexity "O(ready)"] wait t ~max_events ~timeout ~k =
         Wait_queue.register t.wq w;
         arm_timer ()
 
-let interest_count t = Fd_map.length t.interests
+let interest_count t = Fd_map.length t.watched
 let ready_count t = Queue.length t.ready
 
 let close t =
   if not t.closed then begin
-    Fd_map.iter t.interests (fun _ i -> Socket.unsubscribe i.socket i.token);
-    Fd_map.clear t.interests;
+    Fd_map.iter t.watched (fun _ socket ->
+        (match interest_of t socket with
+        | Some interest -> Socket.unsubscribe socket interest.token
+        | None -> ());
+        Socket.detach socket ~key:t.key);
+    Fd_map.clear t.watched;
     Queue.clear t.ready;
     t.closed <- true
   end

@@ -13,6 +13,25 @@ type counters = {
   mutable connections_refused : int;
 }
 
+(* A kernel-memory budget shared by several hosts (the shard cluster's
+   shared-reservation mode): admission happens against one atomic
+   counter, so the shards' combined footprint honours one limit even
+   when they simulate on separate domains. Reservation is a
+   fetch-and-add with rollback — never a lock — and the peak is a
+   monotonic CAS race upward. *)
+type mem_pool = {
+  pool_limit : int;
+  pool_used : int Atomic.t;
+  pool_peak : int Atomic.t;
+}
+
+let shared_mem_pool ~limit =
+  if limit < 0 then invalid_arg "Host.shared_mem_pool: negative limit";
+  { pool_limit = limit; pool_used = Atomic.make 0; pool_peak = Atomic.make 0 }
+
+let pool_used p = Atomic.get p.pool_used
+let pool_peak p = Atomic.get p.pool_peak
+
 type t = {
   engine : Engine.t;
   cpu : Cpu.t;
@@ -22,6 +41,7 @@ type t = {
   hints_by_default : bool;
   arena : Conn_arena.t;
   mem_limit : int;
+  mem_pool : mem_pool option;
   mutable mem_used : int;
   mutable mem_peak : int;
 }
@@ -42,7 +62,7 @@ let fresh_counters () =
 
 let create ~engine ?(costs = Cost_model.default)
     ?(wake_policy = Wait_queue.Wake_all) ?(infinitely_fast = false)
-    ?(hints_by_default = true) ?(mem_limit = max_int) () =
+    ?(hints_by_default = true) ?(mem_limit = max_int) ?mem_pool () =
   let cpu =
     if infinitely_fast then Cpu.infinitely_fast ~engine else Cpu.create ~engine
   in
@@ -55,6 +75,7 @@ let create ~engine ?(costs = Cost_model.default)
     hints_by_default;
     arena = Conn_arena.create ();
     mem_limit;
+    mem_pool;
     mem_used = 0;
     mem_peak = 0;
   }
@@ -66,13 +87,40 @@ let charge_run t ~cost k = Cpu.run t.cpu ~cost k
 (* Modeled kernel memory: admission either fully reserves or refuses;
    no partial grants, so [mem_used] is always a sum of whole
    per-connection reservations. *)
+let pool_reserve p n =
+  let before = Atomic.fetch_and_add p.pool_used n in
+  if before > p.pool_limit - n then begin
+    ignore (Atomic.fetch_and_add p.pool_used (-n));
+    false
+  end
+  else begin
+    let after = before + n in
+    let rec bump () =
+      let peak = Atomic.get p.pool_peak in
+      if after > peak && not (Atomic.compare_and_set p.pool_peak peak after) then
+        bump ()
+    in
+    bump ();
+    true
+  end
+
 let mem_reserve t n =
   if n < 0 then invalid_arg "Host.mem_reserve: negative size";
   if t.mem_used > t.mem_limit - n then false
   else begin
-    t.mem_used <- t.mem_used + n;
-    if t.mem_used > t.mem_peak then t.mem_peak <- t.mem_used;
-    true
+    let admitted =
+      match t.mem_pool with Some p -> pool_reserve p n | None -> true
+    in
+    if admitted then begin
+      t.mem_used <- t.mem_used + n;
+      if t.mem_used > t.mem_peak then t.mem_peak <- t.mem_used;
+      true
+    end
+    else false
   end
 
-let mem_release t n = t.mem_used <- t.mem_used - n
+let mem_release t n =
+  t.mem_used <- t.mem_used - n;
+  match t.mem_pool with
+  | Some p -> ignore (Atomic.fetch_and_add p.pool_used (-n))
+  | None -> ()

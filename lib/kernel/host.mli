@@ -22,6 +22,23 @@ type counters = {
   mutable connections_refused : int;
 }
 
+type mem_pool
+(** A kernel-memory budget shared across several hosts (the shard
+    cluster's shared-reservation mode): every {!mem_reserve} on a
+    pooled host is admitted against one atomic counter, so the
+    combined footprint honours a single limit even when the hosts
+    simulate on separate domains. Admission stays all-or-nothing per
+    reservation. Note on determinism: concurrent shards racing within
+    one reservation of the limit can admit different connections run
+    to run; with the limit partitioned per shard (no pool) or with
+    shards run sequentially, admission is fully deterministic. *)
+
+val shared_mem_pool : limit:int -> mem_pool
+(** Raises [Invalid_argument] if [limit < 0]. *)
+
+val pool_used : mem_pool -> int
+val pool_peak : mem_pool -> int
+
 type t = {
   engine : Engine.t;
   cpu : Cpu.t;
@@ -34,6 +51,8 @@ type t = {
   arena : Conn_arena.t;  (** struct-of-arrays socket state store *)
   mem_limit : int;
       (** modeled kernel-memory budget in bytes; [max_int] = unlimited *)
+  mem_pool : mem_pool option;
+      (** shared budget this host additionally reserves against *)
   mutable mem_used : int;  (** bytes currently reserved *)
   mutable mem_peak : int;  (** high-water mark of [mem_used] *)
 }
@@ -45,10 +64,13 @@ val create :
   ?infinitely_fast:bool ->
   ?hints_by_default:bool ->
   ?mem_limit:int ->
+  ?mem_pool:mem_pool ->
   unit ->
   t
 (** Defaults: {!Cost_model.default}, [Wake_all] (Linux 2.2 behaviour),
-    finite CPU, hinting drivers, unlimited kernel memory. *)
+    finite CPU, hinting drivers, unlimited kernel memory, no shared
+    pool. With [mem_pool], a reservation must clear both the host's
+    own [mem_limit] and the pool. *)
 
 val now : t -> Time.t
 

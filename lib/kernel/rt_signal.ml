@@ -7,13 +7,20 @@ let sigrtmin = 32
 
 type entry = { info : siginfo; seq : int }
 
+(* The observer token of an F_SETSIG binding is arena-native: it
+   lives in the bound socket's {!Conn_arena} cold slot under this
+   queue's attach key; the queue keeps only an fd -> socket-handle
+   index so rebinds and clears can find the old socket. *)
+type Conn_arena.cold += Rt_binding of { token : int }
+
 type queue = {
   host : Host.t;
   limit : int;
   heap : entry Heap.t; (* min by (signo, seq): POSIX delivery order *)
   mutable next_seq : int;
   mutable sigio : bool;
-  bindings : (int, Socket.t * int) Hashtbl.t; (* fd -> (socket, observer token) *)
+  key : int; (* attach key naming this queue's bindings *)
+  bindings : Socket.t Fd_map.t; (* fd -> socket the signal is bound on *)
   waiters : (delivery list -> unit) Queue.t; (* blocked sigwait callers *)
   mutable waiter_max : int Queue.t; (* parallel queue of batch sizes *)
 }
@@ -29,7 +36,8 @@ let create_queue ~host ?(limit = 1024) () =
     heap = Heap.create ~leq:entry_leq ();
     next_seq = 0;
     sigio = false;
-    bindings = Hashtbl.create 64;
+    key = Socket.new_attach_key ();
+    bindings = Fd_map.create ~initial_capacity:64 ();
     waiters = Queue.create ();
     waiter_max = Queue.create ();
   }
@@ -95,15 +103,20 @@ let set_signal q ~socket ~fd ~signo =
   counters.Host.syscalls <- counters.Host.syscalls + 1;
   ignore (Host.charge q.host costs.Cost_model.syscall_entry);
   ignore (Host.charge q.host costs.Cost_model.fcntl_call);
-  (match Hashtbl.find_opt q.bindings fd with
-  | Some (old_sock, token) ->
-      Socket.unsubscribe old_sock token;
-      Hashtbl.remove q.bindings fd
+  (match Fd_map.find q.bindings fd with
+  | Some old_sock ->
+      (match Socket.attachment old_sock ~key:q.key with
+      | Some (Rt_binding { token }) ->
+          Socket.unsubscribe old_sock token;
+          Socket.detach old_sock ~key:q.key
+      | Some _ | None -> ());
+      ignore (Fd_map.remove q.bindings fd)
   | None -> ());
   let token =
     Socket.subscribe socket (fun mask -> enqueue q { signo; fd; band = mask })
   in
-  Hashtbl.replace q.bindings fd (socket, token)
+  Socket.attach socket ~key:q.key (Rt_binding { token });
+  Fd_map.set q.bindings fd socket
 
 let clear_signal q ~socket ~fd =
   let costs = q.host.Host.costs in
@@ -111,10 +124,14 @@ let clear_signal q ~socket ~fd =
   counters.Host.syscalls <- counters.Host.syscalls + 1;
   ignore (Host.charge q.host costs.Cost_model.syscall_entry);
   ignore (Host.charge q.host costs.Cost_model.fcntl_call);
-  match Hashtbl.find_opt q.bindings fd with
-  | Some (bound_sock, token) when bound_sock == socket ->
-      Socket.unsubscribe bound_sock token;
-      Hashtbl.remove q.bindings fd
+  match Fd_map.find q.bindings fd with
+  | Some bound_sock when bound_sock == socket ->
+      (match Socket.attachment bound_sock ~key:q.key with
+      | Some (Rt_binding { token }) ->
+          Socket.unsubscribe bound_sock token;
+          Socket.detach bound_sock ~key:q.key
+      | Some _ | None -> ());
+      ignore (Fd_map.remove q.bindings fd)
   | Some _ | None -> ()
 
 let[@complexity "O(ready)"] wait_general q ~max ~timeout ~k =

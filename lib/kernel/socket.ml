@@ -122,7 +122,23 @@ type cold_rec = {
   mutable on_send : int -> unit;
   mutable on_close : unit -> unit;
   mutable ring : Zc_ring.t option;
+  (* Per-instance backend state (epoll interest, /dev/poll backmap
+     tokens, RT-signal binding), keyed by attach key. Fixed slots
+     rather than an assoc list: every lookup sits on certified
+     O(ready)/O(active) scan paths, so it must be structurally O(1) —
+     and a socket is only ever watched by its process's one backend
+     plus at most an RT-signal binding (hybrid's polling mode), so
+     three slots never fill. Key 0 = slot empty. Dropped wholesale
+     when the arena slot frees. *)
+  mutable a0_key : int;
+  mutable a0 : Conn_arena.cold;
+  mutable a1_key : int;
+  mutable a1 : Conn_arena.cold;
+  mutable a2_key : int;
+  mutable a2 : Conn_arena.cold;
 }
+
+type Conn_arena.cold += No_attachment
 
 type Conn_arena.cold += Sock_cold of cold_rec
 
@@ -149,6 +165,12 @@ let cold t =
           on_send = (fun _ -> ());
           on_close = (fun () -> ());
           ring = None;
+          a0_key = 0;
+          a0 = No_attachment;
+          a1_key = 0;
+          a1 = No_attachment;
+          a2_key = 0;
+          a2 = No_attachment;
         }
       in
       (arena t).Conn_arena.cold.(t.slot) <- Some (Sock_cold c);
@@ -550,6 +572,61 @@ let release_kernel_memory t =
 
 let kernel_memory_bytes t =
   if live t then (arena t).Conn_arena.mem_bytes.{t.slot} else 0
+
+(* Arena-native per-connection backend state. Each kernel facility
+   that used to keep a side table of records (epoll's interest table,
+   /dev/poll's backmap subscriptions, the RT-signal bindings) mints
+   one key per instance and hangs its per-connection record off the
+   socket's cold slot instead; freeing the slot drops every
+   attachment with it, so backend state can never outlive the
+   connection it describes. *)
+let next_attach_key = Atomic.make 0
+let new_attach_key () = 1 + Atomic.fetch_and_add next_attach_key 1
+
+let attach t ~key v =
+  if live t then begin
+    let c = cold t in
+    if c.a0_key = key || c.a0_key = 0 then begin
+      c.a0_key <- key;
+      c.a0 <- v
+    end
+    else if c.a1_key = key || c.a1_key = 0 then begin
+      c.a1_key <- key;
+      c.a1 <- v
+    end
+    else if c.a2_key = key || c.a2_key = 0 then begin
+      c.a2_key <- key;
+      c.a2 <- v
+    end
+    else invalid_arg "Socket.attach: attachment slots exhausted"
+  end
+
+let attachment t ~key =
+  match if live t then cold_opt t else None with
+  | Some c ->
+      if c.a0_key = key then Some c.a0
+      else if c.a1_key = key then Some c.a1
+      else if c.a2_key = key then Some c.a2
+      else None
+  | None -> None
+
+let detach t ~key =
+  if live t then
+    match cold_opt t with
+    | Some c ->
+        if c.a0_key = key then begin
+          c.a0_key <- 0;
+          c.a0 <- No_attachment
+        end
+        else if c.a1_key = key then begin
+          c.a1_key <- 0;
+          c.a1 <- No_attachment
+        end
+        else if c.a2_key = key then begin
+          c.a2_key <- 0;
+          c.a2 <- No_attachment
+        end
+    | None -> ()
 
 let set_tcp_link t cid = if live t then (arena t).Conn_arena.tcp_id.{t.slot} <- cid
 let tcp_link t = if live t then (arena t).Conn_arena.tcp_id.{t.slot} else 0

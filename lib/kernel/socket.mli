@@ -175,6 +175,29 @@ val reserve_kernel_memory : t -> bool
 val kernel_memory_bytes : t -> int
 (** Bytes currently reserved for this connection (0 when none). *)
 
+(** {1 Arena-native backend attachments}
+
+    Kernel facilities that keep per-connection records (an epoll
+    interest, a /dev/poll backmap subscription, an RT-signal binding)
+    store them here instead of in private side tables: the record
+    lives in the connection's {!Conn_arena} cold slot, keyed by a
+    per-instance attach key, and is dropped automatically when the
+    slot frees. All three operations are inert on stale handles. *)
+
+val new_attach_key : unit -> int
+(** Mints a process-unique key (one per backend instance). *)
+
+val attach : t -> key:int -> Conn_arena.cold -> unit
+(** Stores (or replaces) this key's attachment on the socket. O(1):
+    attachments live in three fixed slots (a socket is only ever
+    watched by its process's one backend plus at most an RT-signal
+    binding). Raises [Invalid_argument] if a fourth distinct key is
+    attached to one socket. *)
+
+val attachment : t -> key:int -> Conn_arena.cold option
+
+val detach : t -> key:int -> unit
+
 (** {1 TCP linkage} *)
 
 val set_tcp_link : t -> int -> unit

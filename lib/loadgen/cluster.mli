@@ -1,0 +1,50 @@
+(** N-shard cluster experiments: {!Sio_httpd.Shard_cluster} steering
+    composed with the {!Experiment} harness.
+
+    A cluster run is N independent single-shard simulations — each
+    shard owns its own engine, host, network, server and client slice
+    — stitched together by a deterministic steering pre-pass (split
+    the global arrival schedule, partition the idle population and
+    memory budget) and a deterministic, order-insensitive merge of
+    per-shard outcomes. Running the shards on a {!Sio_sim.Domain_pool}
+    therefore yields byte-identical results to the sequential run
+    (with [Partitioned] memory; see {!mem_mode}). *)
+
+type mem_mode =
+  | Partitioned
+      (** each shard's host gets [kernel_mem_limit / shards] of its
+          own: fully deterministic, the figure default *)
+  | Shared
+      (** all shards draw from one atomic {!Sio_kernel.Host.mem_pool}
+          of [kernel_mem_limit] bytes: models a shared kernel memory
+          budget, but parallel shards racing within one reservation of
+          the limit can admit different connections run to run *)
+
+type config = {
+  base : Experiment.config;
+      (** the cluster-wide experiment; [workload.request_rate],
+          [total_connections] and [inactive_connections] describe the
+          aggregate load the steering pass splits across shards *)
+  shards : int;
+  policy : Sio_httpd.Shard_cluster.policy;
+  population : Sio_httpd.Shard_cluster.population;
+  mem_mode : mem_mode;
+}
+
+val default_config : base:Experiment.config -> shards:int -> config
+(** Hash steering over a uniform (all-distinct-tuples) population with
+    partitioned memory — the faithful SO_REUSEPORT default. *)
+
+type outcome = {
+  merged : Experiment.outcome;
+      (** cluster-wide view: counters and histograms summed/merged,
+          reply-rate statistics computed over the element-wise sum of
+          the per-shard rate series on the common sampling grid *)
+  per_shard : Experiment.outcome array;
+  shard_conns : int array;  (** connections steered to each shard *)
+}
+
+val run : ?pool:Sio_sim.Domain_pool.t -> config -> outcome
+(** Run the cluster. With [pool], shards simulate in parallel (one
+    pool task per shard) — do not call from inside a pool task.
+    Raises [Invalid_argument] if [shards <= 0]. *)

@@ -162,11 +162,11 @@ let start_server cfg proc =
           }
       | Error `Emfile -> failwith "Experiment: hybrid failed to start")
 
-let run cfg =
+let run_gen ?arrivals ?measure ?mem_pool cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let host =
     Host.create ~engine ~costs:cfg.costs ~wake_policy:cfg.wake_policy
-      ~hints_by_default:cfg.hints ?mem_limit:cfg.kernel_mem_limit ()
+      ~hints_by_default:cfg.hints ?mem_limit:cfg.kernel_mem_limit ?mem_pool ()
   in
   let net =
     Sio_net.Network.create ~engine
@@ -183,11 +183,14 @@ let run cfg =
   Engine.run ~until:cfg.settle engine;
   let client =
     Httperf.start ~engine ~net ~listener:server.listener ~workload:cfg.workload
-      ~rng:(Rng.split (Engine.rng engine)) ()
+      ?arrivals ~rng:(Rng.split (Engine.rng engine)) ()
   in
-  let generation_end =
-    Time.add (Engine.now engine) (Workload.generation_duration cfg.workload)
+  let generation_duration =
+    match measure with
+    | Some d -> d
+    | None -> Workload.generation_duration cfg.workload
   in
+  let generation_end = Time.add (Engine.now engine) generation_duration in
   let horizon =
     Time.add generation_end (Time.add cfg.workload.Workload.client_timeout cfg.drain)
   in
@@ -197,14 +200,20 @@ let run cfg =
   let final_mode = server.mode () in
   server.stop ();
   Inactive.stop pool;
-  {
-    metrics;
-    server_stats = server.stats;
-    host_counters = host.Host.counters;
-    cpu_utilization = Cpu.utilization host.Host.cpu ~now:(Engine.now engine);
-    inactive_established = Inactive.established pool;
-    inactive_reopens = Inactive.reopens pool;
-    final_mode;
-    kernel_mem_peak = host.Host.mem_peak;
-    host_rss_bytes = Host_mem.rss_bytes ();
-  }
+  ( {
+      metrics;
+      server_stats = server.stats;
+      host_counters = host.Host.counters;
+      cpu_utilization = Cpu.utilization host.Host.cpu ~now:(Engine.now engine);
+      inactive_established = Inactive.established pool;
+      inactive_reopens = Inactive.reopens pool;
+      final_mode;
+      kernel_mem_peak = host.Host.mem_peak;
+      host_rss_bytes = Host_mem.rss_bytes ();
+    },
+    Httperf.reply_rates client ~until:t_end )
+
+let run cfg = fst (run_gen cfg)
+
+let run_routed ~arrivals ~measure ?mem_pool cfg =
+  run_gen ~arrivals ~measure ?mem_pool cfg

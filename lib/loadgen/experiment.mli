@@ -69,3 +69,19 @@ type outcome = {
 }
 
 val run : config -> outcome
+
+val run_routed :
+  arrivals:Sio_sim.Time.t list ->
+  measure:Sio_sim.Time.t ->
+  ?mem_pool:Sio_kernel.Host.mem_pool ->
+  config ->
+  outcome * float list
+(** One shard of a cluster run ([Cluster] drives this): the same
+    wiring as {!run}, but the client launches exactly the supplied
+    arrival offsets (this shard's slice of the global schedule; see
+    {!Httperf.start}), the measurement window is the cluster-wide
+    generation duration [measure] rather than the per-shard
+    workload's, and the host optionally reserves kernel memory
+    against a shared {!Sio_kernel.Host.mem_pool}. Also returns the
+    per-interval reply-rate series on the cluster's common grid, for
+    exact cross-shard aggregation. *)

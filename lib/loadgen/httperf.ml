@@ -22,6 +22,7 @@ type t = {
   sampler : Sampler.t;
   start_time : Time.t;
   rng : Rng.t;
+  total : int; (* connections this client will offer *)
   mutable attempted : int;
   mutable completed : int;
   mutable terminal : int;
@@ -45,7 +46,7 @@ let finish ?(rst = false) t st =
     t.fds <- t.fds - 1;
     if rst then Port_pool.release_immediately t.ports else Port_pool.release t.ports;
     t.terminal <- t.terminal + 1;
-    if t.terminal = t.w.Workload.total_connections then t.on_done ()
+    if t.terminal = t.total then t.on_done ()
   end
 
 let launch t =
@@ -53,12 +54,12 @@ let launch t =
   if t.fds >= t.w.Workload.client_fd_limit then begin
     t.errors.Metrics.fd_limited <- t.errors.Metrics.fd_limited + 1;
     t.terminal <- t.terminal + 1;
-    if t.terminal = t.w.Workload.total_connections then t.on_done ()
+    if t.terminal = t.total then t.on_done ()
   end
   else if not (Port_pool.acquire t.ports) then begin
     t.errors.Metrics.port_limited <- t.errors.Metrics.port_limited + 1;
     t.terminal <- t.terminal + 1;
-    if t.terminal = t.w.Workload.total_connections then t.on_done ()
+    if t.terminal = t.total then t.on_done ()
   end
   else begin
     t.fds <- t.fds + 1;
@@ -122,9 +123,15 @@ let launch t =
              end))
   end
 
-let start ~engine ~net ~listener ~workload ?rng ?(on_done = fun () -> ()) () =
+let start ~engine ~net ~listener ~workload ?arrivals ?rng ?(on_done = fun () -> ())
+    () =
   if workload.Workload.request_rate <= 0 then
     invalid_arg "Httperf.start: request rate must be positive";
+  let total =
+    match arrivals with
+    | Some ts -> List.length ts
+    | None -> workload.Workload.total_connections
+  in
   let t =
     {
       engine;
@@ -148,6 +155,7 @@ let start ~engine ~net ~listener ~workload ?rng ?(on_done = fun () -> ()) () =
       sampler = Sampler.create ~interval:(Time.s 1);
       start_time = Engine.now engine;
       rng = (match rng with Some r -> r | None -> Rng.create ~seed:0);
+      total;
       attempted = 0;
       completed = 0;
       terminal = 0;
@@ -157,21 +165,36 @@ let start ~engine ~net ~listener ~workload ?rng ?(on_done = fun () -> ()) () =
           ~time_wait:workload.Workload.time_wait;
     }
   in
-  (* Deterministic spacing: connection i departs at i / rate. *)
-  let interval_ns = 1_000_000_000 / workload.Workload.request_rate in
-  for i = 0 to workload.Workload.total_connections - 1 do
-    ignore
-      (Engine.at engine
-         (Time.add t.start_time (Time.ns (i * interval_ns)))
-         (fun () -> launch t))
-  done;
+  (match arrivals with
+  | Some ts ->
+      (* Cluster mode: the steering pre-pass supplies this shard's
+         slice of the global schedule as offsets from now. Pin the
+         sampler's origin to the common client start so every shard
+         measures on the same absolute grid and per-interval rates
+         sum exactly across shards. *)
+      Sampler.record_n t.sampler ~now:t.start_time 0;
+      List.iter
+        (fun off ->
+          ignore
+            (Engine.at engine (Time.add t.start_time off) (fun () -> launch t)))
+        ts
+  | None ->
+      (* Deterministic spacing: connection i departs at i / rate. *)
+      let interval_ns = 1_000_000_000 / workload.Workload.request_rate in
+      for i = 0 to workload.Workload.total_connections - 1 do
+        ignore
+          (Engine.at engine
+             (Time.add t.start_time (Time.ns (i * interval_ns)))
+             (fun () -> launch t))
+      done);
   t
 
 let attempted t = t.attempted
 let completed t = t.completed
 let errors t = t.errors
 let in_flight t = t.attempted - t.terminal
-let is_done t = t.terminal >= t.w.Workload.total_connections
+let is_done t = t.terminal >= t.total
+let reply_rates t ~until = Sampler.rates t.sampler ~until
 let fds_in_use t = t.fds
 let ports_in_use t = Port_pool.in_use t.ports
 

@@ -19,6 +19,7 @@ val start :
   net:Network.t ->
   listener:Socket.t ->
   workload:Workload.t ->
+  ?arrivals:Time.t list ->
   ?rng:Rng.t ->
   ?on_done:(unit -> unit) ->
   unit ->
@@ -26,7 +27,14 @@ val start :
 (** Begins offering connections immediately. [on_done] fires when
     every offered connection has reached a terminal state. [rng] is
     required only when the workload's [active_latency] profile is
-    randomized (defaults to a fresh seed-0 stream). *)
+    randomized (defaults to a fresh seed-0 stream).
+
+    [arrivals] (cluster mode) replaces the uniform spacing with an
+    explicit launch schedule — offsets from now, as produced by the
+    shard steering pre-pass — and the client offers exactly that many
+    connections instead of the workload's [total_connections]. The
+    reply sampler's origin is then pinned to the common start time so
+    per-interval rates align across shards. *)
 
 val attempted : t -> int
 val completed : t -> int
@@ -40,3 +48,9 @@ val ports_in_use : t -> int
 val metrics : t -> t_end:Time.t -> Metrics.t
 (** Summarises the run. [t_end] bounds the reply-rate sampling window
     (normally the end of connection generation). *)
+
+val reply_rates : t -> until:Time.t -> float list
+(** Per-interval reply rates, as fed into {!metrics}. In cluster mode
+    every shard's list lives on the same absolute grid (see
+    [arrivals]), so a cluster's aggregate rate series is the
+    element-wise sum of its shards'. *)

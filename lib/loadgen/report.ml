@@ -140,6 +140,25 @@ let csv_of_response_size_series s =
     s.points;
   Buffer.contents buf
 
+let csv_of_shard_series s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "shards,avg,sd,min,max,err_percent,p50_ms,p99_ms,attempted,completed\n";
+  List.iter
+    (fun p ->
+      let m = p.Sweep.outcome.Experiment.metrics in
+      let pct q =
+        if Sio_sim.Histogram.count m.Metrics.latency = 0 then 0.
+        else Sio_sim.Time.to_ms_f (Sio_sim.Histogram.percentile m.Metrics.latency q)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.3f,%.3f,%d,%d\n" p.Sweep.rate
+           m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd m.Metrics.reply_rate_min
+           m.Metrics.reply_rate_max m.Metrics.error_percent (pct 50.) (pct 99.)
+           m.Metrics.attempted m.Metrics.completed))
+    s.points;
+  Buffer.contents buf
+
 let csv_of_idle_series s =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

@@ -33,6 +33,13 @@ val csv_of_response_size_series : series -> string
     response size (headers + body) in megabits per second. The x value
     of each point is the response body size in bytes. *)
 
+val csv_of_shard_series : series -> string
+(** Shard-scaling rows: x column ["shards"], the reply-rate block, and
+    p50/p99 connection-time columns (latency tails are where accept
+    steering shows) in place of the single median. The x value of each
+    point is the cluster's shard count; all other columns describe the
+    merged cluster-wide outcome. *)
+
 val csv_of_idle_series : series -> string
 (** [csv_of_series ~x_header:"idle"] plus a trailing [kernel_bytes]
     column: the peak modeled kernel memory reserved for sockets during

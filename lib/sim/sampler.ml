@@ -31,6 +31,43 @@ let record_n t ~now n =
 
 let record t ~now = record_n t ~now 1
 
+(* Rebase so interval 0 starts at [origin'] (<= t.origin): existing
+   counts slide right by the whole-interval distance. A sub-interval
+   remainder is absorbed into the shift's floor — merged counts can
+   land one bucket early, never be lost. *)
+let rebase t origin' =
+  if t.started && origin' < t.origin then begin
+    let shift = Time.sub t.origin origin' / t.interval in
+    if shift > 0 && t.last_index >= 0 then begin
+      ensure t (t.last_index + shift);
+      for i = t.last_index downto 0 do
+        t.counts.(i + shift) <- t.counts.(i);
+        t.counts.(i) <- 0
+      done;
+      t.last_index <- t.last_index + shift
+    end;
+    t.origin <- origin'
+  end
+
+let merge_into ~into src =
+  if into.interval <> src.interval then
+    invalid_arg "Sampler.merge_into: interval mismatch";
+  if src.started then begin
+    if not into.started then begin
+      into.started <- true;
+      into.origin <- src.origin
+    end
+    else rebase into (Stdlib.min into.origin src.origin);
+    let shift = Time.sub src.origin into.origin / src.interval in
+    if src.last_index >= 0 then begin
+      ensure into (src.last_index + shift);
+      for i = 0 to src.last_index do
+        into.counts.(i + shift) <- into.counts.(i + shift) + src.counts.(i)
+      done;
+      into.last_index <- Stdlib.max into.last_index (src.last_index + shift)
+    end
+  end
+
 let rates t ~until =
   if not t.started then []
   else begin

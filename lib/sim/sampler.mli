@@ -23,4 +23,12 @@ val rates : t -> until:Time.t -> float list
     between the sampler's start and [until], in time order, including
     zero intervals. Empty if nothing was ever recorded. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds [src]'s per-interval counts into
+    [into], aligning buckets by absolute time (the merged origin is
+    the earlier of the two). When the origins are not phase-aligned,
+    a source bucket lands on the interval its start time falls in —
+    at most one bucket early, never dropped. Raises
+    [Invalid_argument] if the intervals differ. [src] is unchanged. *)
+
 val interval : t -> Time.t

@@ -1,0 +1,340 @@
+(* The shard-cluster model: steering policies, the shared memory pool,
+   the exhaustive stats merge, and the tentpole determinism contract —
+   an N-shard run is byte-identical across repeated runs and across
+   domain scheduling, and conserves work against the single-server
+   oracle under round-robin steering. *)
+
+open Sio_sim
+open Sio_kernel
+open Sio_httpd
+open Sio_loadgen
+
+(* --- Server_stats.add / merge ------------------------------------- *)
+
+let filled_stats () =
+  (* Distinct primes per counter so a dropped or double-counted field
+     shows up as a wrong sum, not a coincidence. *)
+  let s = Server_stats.create () in
+  s.Server_stats.replies <- 2;
+  s.Server_stats.accepted <- 3;
+  s.Server_stats.dropped_conns <- 5;
+  s.Server_stats.timed_out_conns <- 7;
+  s.Server_stats.stale_events <- 11;
+  s.Server_stats.overflow_recoveries <- 13;
+  s.Server_stats.mode_switches <- 17;
+  s.Server_stats.emfile_drops <- 19;
+  s.Server_stats.enobufs_drops <- 23;
+  s.Server_stats.partial_writes <- 29;
+  s.Server_stats.bytes_sent <- 31;
+  s
+
+let test_stats_add_covers_every_field () =
+  let src = filled_stats () in
+  (* record_reply bumps [replies] too: src ends at 2 + 2 = 4. *)
+  Server_stats.record_reply src ~now:(Time.s 1);
+  Server_stats.record_reply src ~now:(Time.s 1);
+  let into = Server_stats.create () in
+  into.Server_stats.replies <- 100;
+  Server_stats.add ~into src;
+  Alcotest.(check int) "replies" 104 into.Server_stats.replies;
+  Alcotest.(check int) "accepted" 3 into.Server_stats.accepted;
+  Alcotest.(check int) "dropped_conns" 5 into.Server_stats.dropped_conns;
+  Alcotest.(check int) "timed_out_conns" 7 into.Server_stats.timed_out_conns;
+  Alcotest.(check int) "stale_events" 11 into.Server_stats.stale_events;
+  Alcotest.(check int) "overflow_recoveries" 13 into.Server_stats.overflow_recoveries;
+  Alcotest.(check int) "mode_switches" 17 into.Server_stats.mode_switches;
+  Alcotest.(check int) "emfile_drops" 19 into.Server_stats.emfile_drops;
+  Alcotest.(check int) "enobufs_drops" 23 into.Server_stats.enobufs_drops;
+  Alcotest.(check int) "partial_writes" 29 into.Server_stats.partial_writes;
+  Alcotest.(check int) "bytes_sent" 31 into.Server_stats.bytes_sent;
+  Alcotest.(check (list (float 1e-9)))
+    "sampler merged" [ 2. ]
+    (Server_stats.reply_rates into ~until:(Time.s 2))
+
+let test_stats_merge_order_insensitive () =
+  let mk offset_s =
+    let s = filled_stats () in
+    Server_stats.record_reply s ~now:(Time.s offset_s);
+    s
+  in
+  let ab = Server_stats.merge [ mk 1; mk 3 ] in
+  let ba = Server_stats.merge [ mk 3; mk 1 ] in
+  Alcotest.(check int) "replies" ab.Server_stats.replies ba.Server_stats.replies;
+  Alcotest.(check int) "bytes_sent" ab.Server_stats.bytes_sent ba.Server_stats.bytes_sent;
+  Alcotest.(check (list (float 1e-9)))
+    "rate series"
+    (Server_stats.reply_rates ab ~until:(Time.s 4))
+    (Server_stats.reply_rates ba ~until:(Time.s 4))
+
+(* --- Host.mem_pool ------------------------------------------------ *)
+
+let mk_host ?mem_limit ?mem_pool () =
+  let engine = Engine.create ~seed:1 () in
+  Host.create ~engine ~costs:Cost_model.zero ?mem_limit ?mem_pool ()
+
+let test_mem_pool_admission () =
+  let pool = Host.shared_mem_pool ~limit:100 in
+  let h1 = mk_host ~mem_pool:pool () in
+  let h2 = mk_host ~mem_pool:pool () in
+  Alcotest.(check bool) "h1 reserves 60" true (Host.mem_reserve h1 60);
+  Alcotest.(check bool) "h2 denied 60" false (Host.mem_reserve h2 60);
+  Alcotest.(check int) "denied reservation rolled back" 60 (Host.pool_used pool);
+  Alcotest.(check bool) "h2 reserves 40" true (Host.mem_reserve h2 40);
+  Alcotest.(check int) "pool full" 100 (Host.pool_used pool);
+  Alcotest.(check int) "pool peak" 100 (Host.pool_peak pool);
+  Host.mem_release h1 60;
+  Alcotest.(check int) "release returns to pool" 40 (Host.pool_used pool);
+  Alcotest.(check int) "peak sticks" 100 (Host.pool_peak pool);
+  Alcotest.(check int) "h2 local accounting" 40 h2.Host.mem_used
+
+let test_mem_pool_local_limit_first () =
+  (* A host denied by its own limit must not consume pool budget. *)
+  let pool = Host.shared_mem_pool ~limit:1000 in
+  let h = mk_host ~mem_limit:50 ~mem_pool:pool () in
+  Alcotest.(check bool) "local limit denies" false (Host.mem_reserve h 60);
+  Alcotest.(check int) "pool untouched" 0 (Host.pool_used pool);
+  Alcotest.(check bool) "within both" true (Host.mem_reserve h 50);
+  Alcotest.(check int) "pool charged" 50 (Host.pool_used pool)
+
+(* --- Steering policies -------------------------------------------- *)
+
+let schedule n = Array.init n (fun i -> Time.ms i)
+
+let test_round_robin_balanced () =
+  let assignment =
+    Shard_cluster.route ~policy:Shard_cluster.Round_robin ~shards:4 ~seed:7
+      (schedule 1003)
+  in
+  let counts = Shard_cluster.shard_counts ~shards:4 assignment in
+  Array.iteri
+    (fun s c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d near-even" s)
+        true
+        (abs (c - 250) <= 1))
+    counts
+
+let test_route_deterministic () =
+  let go () =
+    Shard_cluster.route ~policy:Shard_cluster.Hash_tuple ~shards:8
+      ~population:{ Shard_cluster.tuples = 64; skew = 1.2 }
+      ~seed:42 (schedule 5000)
+  in
+  Alcotest.(check (array int)) "same seed, same routes" (go ()) (go ())
+
+let test_hash_uniform_spreads () =
+  (* All-distinct tuples: no shard starves under the hash policy. *)
+  let assignment =
+    Shard_cluster.route ~policy:Shard_cluster.Hash_tuple ~shards:8 ~seed:42
+      (schedule 8000)
+  in
+  let counts = Shard_cluster.shard_counts ~shards:8 assignment in
+  Array.iteri
+    (fun s c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d fed" s)
+        true
+        (c > 500 && c < 1500))
+    counts
+
+let test_hash_polarizes_under_skew () =
+  (* Zipf(2.0) over 8 tuples: the head tuple carries ~65% of the
+     connections, and tuple-hashing pins all of them to one shard. *)
+  let assignment =
+    Shard_cluster.route ~policy:Shard_cluster.Hash_tuple ~shards:4
+      ~population:{ Shard_cluster.tuples = 8; skew = 2.0 }
+      ~seed:42 (schedule 10_000)
+  in
+  let counts = Shard_cluster.shard_counts ~shards:4 assignment in
+  let hottest = Array.fold_left Stdlib.max 0 counts in
+  Alcotest.(check bool) "one shard polarized" true (hottest > 5_000)
+
+let test_least_loaded_balances_bursts () =
+  (* Simultaneous arrivals never depart between decisions, so the
+     balancer fills shards one connection at a time: perfect balance. *)
+  let burst = Array.make 400 Time.zero in
+  let assignment =
+    Shard_cluster.route ~policy:Shard_cluster.Least_loaded ~shards:4 ~seed:7
+      burst
+  in
+  let counts = Shard_cluster.shard_counts ~shards:4 assignment in
+  Array.iter (fun c -> Alcotest.(check int) "even burst split" 100 c) counts
+
+let test_least_loaded_drains_departures () =
+  (* Arrivals spaced wider than the service estimate: every connection
+     has departed by the next decision, so shard 0 takes them all. *)
+  let sparse = Array.init 50 (fun i -> Time.ms (i * 200)) in
+  let assignment =
+    Shard_cluster.route ~policy:Shard_cluster.Least_loaded ~shards:4
+      ~est_service:(Time.ms 50) ~seed:7 sparse
+  in
+  Array.iter (fun s -> Alcotest.(check int) "idle system pins shard 0" 0 s) assignment
+
+let test_split_evenly () =
+  Alcotest.(check (array int)) "remainders to low shards" [| 3; 3; 2; 2 |]
+    (Shard_cluster.split_evenly ~shards:4 10);
+  Alcotest.(check (array int)) "exact split" [| 5; 5 |]
+    (Shard_cluster.split_evenly ~shards:2 10)
+
+(* --- Cluster runs ------------------------------------------------- *)
+
+let small_workload =
+  {
+    Workload.default with
+    Workload.request_rate = 1000;
+    total_connections = 200;
+    inactive_connections = 24;
+  }
+
+let base_config () =
+  let base =
+    Experiment.default_config
+      ~kind:(Experiment.Thttpd_epoll { max_events = 128 })
+      ~workload:small_workload
+  in
+  { base with Experiment.settle = Time.ms 500; drain = Time.ms 500 }
+
+let cluster_config ?(policy = Shard_cluster.Hash_tuple) ~shards () =
+  {
+    (Cluster.default_config ~base:(base_config ()) ~shards) with
+    Cluster.policy;
+  }
+
+(* Every deterministic number a cluster run reports, as one
+   comparable string (host_rss_bytes deliberately excluded). *)
+let fingerprint (o : Cluster.outcome) =
+  let b = Buffer.create 1024 in
+  let outcome tag (e : Experiment.outcome) =
+    let m = e.Experiment.metrics in
+    Buffer.add_string b
+      (Fmt.str "%s metrics %d %d %d %.17g %.17g %.17g %.17g %.17g %.17g\n" tag
+         m.Metrics.attempted m.Metrics.completed
+         (Metrics.total_errors m.Metrics.errors)
+         m.Metrics.reply_rate_avg m.Metrics.reply_rate_sd
+         m.Metrics.reply_rate_min m.Metrics.reply_rate_max m.Metrics.error_percent
+         (Metrics.median_latency_ms m));
+    let s = e.Experiment.server_stats in
+    Buffer.add_string b
+      (Fmt.str "%s stats %d %d %d %d %d %d\n" tag s.Server_stats.replies
+         s.Server_stats.accepted s.Server_stats.dropped_conns
+         s.Server_stats.enobufs_drops s.Server_stats.partial_writes
+         s.Server_stats.bytes_sent);
+    let c = e.Experiment.host_counters in
+    Buffer.add_string b
+      (Fmt.str "%s counters %d %d %d %d %d\n" tag c.Host.syscalls c.Host.accepts
+         c.Host.softirqs c.Host.wait_queue_wakes c.Host.connections_refused);
+    Buffer.add_string b
+      (Fmt.str "%s mem %d inactive %d %d mode %s\n" tag e.Experiment.kernel_mem_peak
+         e.Experiment.inactive_established e.Experiment.inactive_reopens
+         e.Experiment.final_mode)
+  in
+  outcome "merged" o.Cluster.merged;
+  Array.iteri (fun s e -> outcome (Printf.sprintf "shard%d" s) e) o.Cluster.per_shard;
+  Buffer.add_string b
+    (Fmt.str "conns %a\n" Fmt.(array ~sep:sp int) o.Cluster.shard_conns);
+  Buffer.contents b
+
+let policy_gen =
+  QCheck.make
+    ~print:(fun (shards, policy) ->
+      Printf.sprintf "shards=%d policy=%s" shards (Shard_cluster.policy_name policy))
+    QCheck.Gen.(
+      pair (int_range 1 4)
+        (oneofl
+           Shard_cluster.[ Round_robin; Hash_tuple; Least_loaded ]))
+
+let prop_cluster_deterministic =
+  (* The tentpole contract: same config -> same bytes, whether shards
+     run sequentially or one Domain_pool task each. *)
+  QCheck.Test.make ~name:"cluster byte-identical across runs and scheduling"
+    ~count:4 policy_gen (fun (shards, policy) ->
+      let cfg = cluster_config ~policy ~shards () in
+      let seq1 = fingerprint (Cluster.run cfg) in
+      let seq2 = fingerprint (Cluster.run cfg) in
+      let par =
+        Domain_pool.with_pool ~size:2 (fun pool ->
+            fingerprint (Cluster.run ~pool cfg))
+      in
+      seq1 = seq2 && seq1 = par)
+
+let test_conservation_vs_oracle () =
+  (* Round-robin steering of a uniform client population at an easy
+     rate: nothing is lost to steering. Every offered connection
+     completes in both worlds, so cluster totals equal the
+     single-server oracle exactly. *)
+  let base = base_config () in
+  let oracle = Experiment.run base in
+  let out =
+    Cluster.run (cluster_config ~policy:Shard_cluster.Round_robin ~shards:4 ())
+  in
+  let m = out.Cluster.merged.Experiment.metrics in
+  let om = oracle.Experiment.metrics in
+  Alcotest.(check int) "oracle clean" 0 (Metrics.total_errors om.Metrics.errors);
+  Alcotest.(check int) "cluster clean" 0 (Metrics.total_errors m.Metrics.errors);
+  Alcotest.(check int) "attempted conserved" om.Metrics.attempted m.Metrics.attempted;
+  Alcotest.(check int) "completed conserved" om.Metrics.completed m.Metrics.completed;
+  Alcotest.(check int) "replies conserved"
+    oracle.Experiment.server_stats.Server_stats.replies
+    out.Cluster.merged.Experiment.server_stats.Server_stats.replies;
+  Alcotest.(check int) "bytes conserved"
+    oracle.Experiment.server_stats.Server_stats.bytes_sent
+    out.Cluster.merged.Experiment.server_stats.Server_stats.bytes_sent;
+  Alcotest.(check int) "steering covers all connections"
+    small_workload.Workload.total_connections
+    (Array.fold_left ( + ) 0 out.Cluster.shard_conns)
+
+let test_partitioned_memory_admission () =
+  (* A cluster-wide memory cap split across shards still admits the
+     easy workload; the merged peak is the sum of shard peaks. *)
+  let base = { (base_config ()) with Experiment.kernel_mem_limit = Some (1 lsl 24) } in
+  let cfg = { (cluster_config ~shards:2 ()) with Cluster.base } in
+  let out = Cluster.run cfg in
+  Alcotest.(check int) "no enobufs drops" 0
+    out.Cluster.merged.Experiment.server_stats.Server_stats.enobufs_drops;
+  let sum_peaks =
+    Array.fold_left
+      (fun acc (o : Experiment.outcome) -> acc + o.Experiment.kernel_mem_peak)
+      0 out.Cluster.per_shard
+  in
+  Alcotest.(check int) "merged peak is shard sum" sum_peaks
+    out.Cluster.merged.Experiment.kernel_mem_peak;
+  Alcotest.(check bool) "peak positive" true (sum_peaks > 0)
+
+let test_shared_pool_sequential_deterministic () =
+  (* Shared-pool admission is deterministic when shards run
+     sequentially — the documented safe mode. *)
+  let base = { (base_config ()) with Experiment.kernel_mem_limit = Some (1 lsl 24) } in
+  let cfg =
+    { (cluster_config ~shards:2 ()) with Cluster.base; mem_mode = Cluster.Shared }
+  in
+  let a = fingerprint (Cluster.run cfg) in
+  let b = fingerprint (Cluster.run cfg) in
+  Alcotest.(check string) "shared pool, sequential shards" a b
+
+let suite =
+  [
+    Alcotest.test_case "stats add covers every field" `Quick
+      test_stats_add_covers_every_field;
+    Alcotest.test_case "stats merge order-insensitive" `Quick
+      test_stats_merge_order_insensitive;
+    Alcotest.test_case "mem pool admission" `Quick test_mem_pool_admission;
+    Alcotest.test_case "mem pool after local limit" `Quick
+      test_mem_pool_local_limit_first;
+    Alcotest.test_case "round-robin balanced" `Quick test_round_robin_balanced;
+    Alcotest.test_case "routing deterministic" `Quick test_route_deterministic;
+    Alcotest.test_case "hash spreads uniform tuples" `Quick test_hash_uniform_spreads;
+    Alcotest.test_case "hash polarizes under skew" `Quick
+      test_hash_polarizes_under_skew;
+    Alcotest.test_case "least-loaded balances bursts" `Quick
+      test_least_loaded_balances_bursts;
+    Alcotest.test_case "least-loaded drains departures" `Quick
+      test_least_loaded_drains_departures;
+    Alcotest.test_case "split_evenly" `Quick test_split_evenly;
+    QCheck_alcotest.to_alcotest prop_cluster_deterministic;
+    Alcotest.test_case "conservation vs single-server oracle" `Quick
+      test_conservation_vs_oracle;
+    Alcotest.test_case "partitioned memory admission" `Quick
+      test_partitioned_memory_admission;
+    Alcotest.test_case "shared pool sequential determinism" `Quick
+      test_shared_pool_sequential_deterministic;
+  ]

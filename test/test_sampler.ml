@@ -61,6 +61,68 @@ let prop_total_preserved =
       (* each rate is count/interval with interval = 1s *)
       int_of_float (Float.round total) = List.length offsets_ms)
 
+let test_merge_aligned () =
+  (* Two samplers sharing an origin: merged rates are element-wise
+     sums, trailing buckets from the longer source preserved. *)
+  let a = Sampler.create ~interval:(Time.s 1) in
+  let b = Sampler.create ~interval:(Time.s 1) in
+  Sampler.record_n a ~now:Time.zero 3;
+  Sampler.record_n b ~now:Time.zero 5;
+  Sampler.record_n b ~now:(Time.ms 2500) 7;
+  Sampler.merge_into ~into:a b;
+  Alcotest.(check (list (float 1e-9)))
+    "summed" [ 8.; 0.; 7. ]
+    (Sampler.rates a ~until:(Time.s 3));
+  Alcotest.(check (list (float 1e-9)))
+    "src unchanged" [ 5.; 0.; 7. ]
+    (Sampler.rates b ~until:(Time.s 3))
+
+let test_merge_rebases_to_earlier_origin () =
+  (* Destination started later: its buckets must shift so the merged
+     series is anchored at the earlier source origin. *)
+  let late = Sampler.create ~interval:(Time.s 1) in
+  let early = Sampler.create ~interval:(Time.s 1) in
+  Sampler.record_n late ~now:(Time.s 2) 4;
+  Sampler.record_n early ~now:Time.zero 1;
+  Sampler.merge_into ~into:late early;
+  Alcotest.(check (list (float 1e-9)))
+    "rebased" [ 1.; 0.; 4. ]
+    (Sampler.rates late ~until:(Time.s 3))
+
+let test_merge_into_unstarted () =
+  let into = Sampler.create ~interval:(Time.s 1) in
+  let src = Sampler.create ~interval:(Time.s 1) in
+  Sampler.record_n src ~now:(Time.s 1) 2;
+  Sampler.merge_into ~into src;
+  Alcotest.(check (list (float 1e-9)))
+    "adopts src series" [ 2. ]
+    (Sampler.rates into ~until:(Time.s 2))
+
+let test_merge_interval_mismatch () =
+  let a = Sampler.create ~interval:(Time.s 1) in
+  let b = Sampler.create ~interval:(Time.ms 500) in
+  Alcotest.check_raises "interval mismatch"
+    (Invalid_argument "Sampler.merge_into: interval mismatch") (fun () ->
+      Sampler.merge_into ~into:a b)
+
+let prop_merge_preserves_total =
+  QCheck.Test.make ~name:"merge preserves total count" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 50) (int_range 0 10_000))
+        (list_of_size Gen.(1 -- 50) (int_range 0 10_000)))
+    (fun (xs, ys) ->
+      let feed offsets =
+        let s = Sampler.create ~interval:(Time.s 1) in
+        List.iter (fun o -> Sampler.record s ~now:(Time.ms o)) (List.sort compare offsets);
+        s
+      in
+      let a = feed xs and b = feed ys in
+      Sampler.merge_into ~into:a b;
+      let until = Time.ms 20_000 in
+      let total = List.fold_left ( +. ) 0. (Sampler.rates a ~until) in
+      int_of_float (Float.round total) = List.length xs + List.length ys)
+
 let suite =
   [
     Alcotest.test_case "empty sampler" `Quick test_nothing_recorded;
@@ -69,5 +131,10 @@ let suite =
     Alcotest.test_case "zero intervals appear" `Quick test_zero_intervals_reported;
     Alcotest.test_case "origin anchored at first event" `Quick test_origin_at_first_event;
     Alcotest.test_case "record_n" `Quick test_record_n;
+    Alcotest.test_case "merge aligned origins" `Quick test_merge_aligned;
+    Alcotest.test_case "merge rebases destination" `Quick test_merge_rebases_to_earlier_origin;
+    Alcotest.test_case "merge into unstarted" `Quick test_merge_into_unstarted;
+    Alcotest.test_case "merge interval mismatch" `Quick test_merge_interval_mismatch;
     QCheck_alcotest.to_alcotest prop_total_preserved;
+    QCheck_alcotest.to_alcotest prop_merge_preserves_total;
   ]
